@@ -1,0 +1,1 @@
+"""Benchmark harness reproducing every figure/claim/challenge experiment (DESIGN.md §4)."""

@@ -1,0 +1,120 @@
+"""Experiment B1 — claimed benefit 1: exposure to disclosure vs limited retention.
+
+"The amount of accurate personal information exposed to disclosure ... is
+always less than with a traditional data retention principle."
+
+A location trace is loaded both into InstantDB (Fig. 2 policy: accurate for one
+hour) and into limited-retention baselines with 1-day, 1-week, 1-month and
+1-year limits.  Reported series: the number of accurate tuples an attacker
+would capture with a single snapshot, and the accumulated accurate
+tuple-hours, per system.
+"""
+
+import pytest
+
+from repro.baselines import LimitedRetentionStore, TraditionalStore
+from repro.core.clock import DAY, HOUR, MONTH, WEEK, YEAR
+from repro.privacy.exposure import (
+    accurate_lifetime_of_policy,
+    engine_snapshot,
+    exposure_volume_analytic,
+    retention_vs_degradation_ratio,
+)
+from repro.workloads import LocationTraceGenerator
+
+from .conftest import build_engine, load_trace, print_table
+
+NUM_EVENTS = 400
+EVENT_INTERVAL = 300.0          # one event every 5 minutes
+RETENTION_LIMITS = [("1 day", DAY), ("1 week", WEEK), ("1 month", MONTH), ("1 year", YEAR)]
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    db = build_engine()
+    generator = LocationTraceGenerator(num_users=50, seed=21)
+    events = generator.events(NUM_EVENTS, interval=EVENT_INTERVAL)
+    baselines = {name: LimitedRetentionStore(limit) for name, limit in RETENTION_LIMITS}
+    baselines["traditional"] = TraditionalStore()
+    for index, event in enumerate(events, start=1):
+        db.clock.advance_to(event.timestamp)
+        row = event.as_row()
+        row["id"] = index
+        db.insert_row("person", row)
+        for store in baselines.values():
+            store.insert(row, now=event.timestamp)
+    return db, baselines, [event.timestamp for event in events]
+
+
+def test_b1_snapshot_exposure(benchmark, loaded):
+    """Accurate tuples captured by a single snapshot attack right after collection."""
+    db, baselines, insert_times = loaded
+    now = db.now()
+
+    def measure():
+        degradation_exposed = engine_snapshot(db, "person", "location").exposed(0)
+        rows = [("InstantDB degradation (1 h accurate)", degradation_exposed)]
+        for name, store in baselines.items():
+            label = "no retention limit (traditional)" if name == "traditional" \
+                else f"limited retention {name}"
+            rows.append((label, len(store.accurate_rows(now=now))))
+        return rows
+
+    rows = benchmark(measure)
+    print_table("B1: accurate tuples exposed to a snapshot attacker",
+                ["system", "accurate tuples exposed"], rows)
+    exposures = dict(rows)
+    degradation = exposures["InstantDB degradation (1 h accurate)"]
+    # Shape: degradation always exposes the least; retention exposure grows with
+    # the limit up to the full trace for the traditional store.
+    for name, _limit in RETENTION_LIMITS:
+        assert degradation <= exposures[f"limited retention {name}"]
+    assert exposures["no retention limit (traditional)"] == NUM_EVENTS
+    assert exposures["limited retention 1 year"] == NUM_EVENTS
+    assert degradation < NUM_EVENTS * 0.1
+
+
+def test_b1_accurate_tuple_hours(benchmark, loaded):
+    """Accumulated accurate tuple-hours (exposure volume) per system."""
+    db, _baselines, _insert_times = loaded
+    policy = db.catalog.policy_for("person", "location")
+    lifetime = accurate_lifetime_of_policy(policy)
+
+    def measure():
+        rows = [("InstantDB degradation",
+                 exposure_volume_analytic(NUM_EVENTS, lifetime) / HOUR, 1.0)]
+        for name, limit in RETENTION_LIMITS:
+            volume = exposure_volume_analytic(NUM_EVENTS, limit) / HOUR
+            rows.append((f"limited retention {name}", volume,
+                         retention_vs_degradation_ratio(limit, policy)))
+        return rows
+
+    rows = benchmark(measure)
+    print_table("B1: accumulated accurate tuple-hours (analytic)",
+                ["system", "accurate tuple-hours", "x worse than degradation"],
+                [(name, f"{volume:.0f}", f"{ratio:.0f}x") for name, volume, ratio in rows])
+    volumes = [volume for _name, volume, _ratio in rows]
+    # Shape: exposure volume grows monotonically with the retention limit and
+    # the 1-year limit is ~4 orders of magnitude above the 1-hour degradation.
+    assert volumes == sorted(volumes)
+    assert volumes[-1] / volumes[0] > 1000
+
+
+def test_b1_exposure_after_degradation_settles(benchmark, loaded):
+    """Once collection stops, degradation drains the exposed set to zero while
+    retention keeps it fully exposed until the limit."""
+    db, baselines, _insert_times = loaded
+    db.advance_time(hours=3)
+    now = db.now()
+
+    def measure():
+        return (engine_snapshot(db, "person", "location").exposed(0),
+                len(baselines["1 week"].accurate_rows(now=now)))
+
+    degraded_exposed, retained_exposed = benchmark(measure)
+    print_table("B1: exposure three hours after the last insert",
+                ["system", "accurate tuples exposed"],
+                [("InstantDB degradation", degraded_exposed),
+                 ("limited retention 1 week", retained_exposed)])
+    assert degraded_exposed == 0
+    assert retained_exposed == NUM_EVENTS

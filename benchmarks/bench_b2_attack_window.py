@@ -1,0 +1,122 @@
+"""Experiment B2 — claimed benefit 2: attack window and detectability.
+
+"To be effective, an attack targeting a database running a data degradation
+process must be repeated with a frequency smaller than the duration of the
+shortest degradation step.  Such continuous attacks are easily detectable."
+
+A periodic attacker is swept over attack periods from minutes to a week, both
+against the degradation policy (1-hour accurate window) and against a 1-month
+retention baseline.  Reported series: fraction of the trace captured
+accurately, number of break-ins required, and cumulative detection
+probability.  The expected crossover: capture collapses as soon as the period
+exceeds the shortest degradation step, while detection keeps climbing for
+faster attacks.
+"""
+
+import pytest
+
+from repro.core.clock import DAY, HOUR, MINUTE, MONTH, WEEK
+from repro.privacy.attack import cumulative_detection, sweep_attack_periods
+from repro.privacy.exposure import accurate_lifetime_of_policy
+
+from .conftest import LOCATION_TRANSITIONS, print_table
+
+NUM_EVENTS = 2_000
+EVENT_INTERVAL = 120.0
+DETECTION_PER_SNAPSHOT = 0.02
+PERIODS = [("10 min", 10 * MINUTE), ("30 min", 30 * MINUTE), ("1 hour", HOUR),
+           ("6 hours", 6 * HOUR), ("1 day", DAY), ("1 week", WEEK)]
+
+
+@pytest.fixture(scope="module")
+def insert_times():
+    return [index * EVENT_INTERVAL for index in range(NUM_EVENTS)]
+
+
+def test_b2_capture_vs_detection_under_degradation(benchmark, insert_times,
+                                                   location_policy):
+    accurate_lifetime = accurate_lifetime_of_policy(location_policy)
+    horizon = insert_times[-1] + accurate_lifetime
+
+    def sweep():
+        return sweep_attack_periods(insert_times, accurate_lifetime,
+                                    [period for _name, period in PERIODS],
+                                    horizon=horizon,
+                                    detection_per_snapshot=DETECTION_PER_SNAPSHOT)
+
+    points = benchmark(sweep)
+    rows = [(name, f"{point.capture_fraction:.1%}",
+             f"{point.capture_fraction_analytic:.1%}", point.snapshots,
+             f"{point.detection_probability:.2f}")
+            for (name, _period), point in zip(PERIODS, points)]
+    print_table("B2: periodic attacker against the degradation policy (1 h accurate)",
+                ["attack period", "captured (sim)", "captured (analytic)",
+                 "break-ins", "P(detected)"], rows)
+    captures = [point.capture_fraction for point in points]
+    detections = [point.detection_probability for point in points]
+    # Shape: capture is ~1 while the period is below the shortest step, then
+    # collapses; detection decreases monotonically with slower attacks.
+    assert captures[0] >= 0.99
+    assert captures == sorted(captures, reverse=True)
+    assert captures[-1] < 0.05
+    assert detections == sorted(detections, reverse=True)
+    # Attacking faster than the step costs two orders of magnitude more break-ins.
+    assert points[0].snapshots > 50 * points[-1].snapshots
+
+
+def test_b2_retention_baseline_needs_single_breakin(benchmark, insert_times,
+                                                    location_policy):
+    """Against limited retention a single well-timed break-in captures everything."""
+    from repro.privacy.attack import simulate_snapshot_attack
+
+    accurate_lifetime = accurate_lifetime_of_policy(location_policy)
+    attack_time = insert_times[-1] + HOUR          # one visit, after collection
+
+    def measure():
+        against_retention = simulate_snapshot_attack(
+            insert_times, MONTH, [attack_time],
+            detection_per_snapshot=DETECTION_PER_SNAPSHOT)
+        against_degradation = simulate_snapshot_attack(
+            insert_times, accurate_lifetime, [attack_time],
+            detection_per_snapshot=DETECTION_PER_SNAPSHOT)
+        return against_retention, against_degradation
+
+    against_retention, against_degradation = benchmark(measure)
+    print_table("B2: a single break-in right after collection",
+                ["system", "captured accurately", "break-ins", "P(detected)"],
+                [("limited retention (1 month)",
+                  f"{against_retention.capture_fraction:.1%}", 1,
+                  f"{against_retention.detection_probability:.2f}"),
+                 ("InstantDB degradation (1 h accurate)",
+                  f"{against_degradation.capture_fraction:.1%}", 1,
+                  f"{against_degradation.detection_probability:.2f}")])
+    # Shape: one break-in suffices against retention but captures almost nothing
+    # against a degrading store.
+    assert against_retention.capture_fraction >= 0.99
+    assert against_degradation.capture_fraction < 0.05
+    assert against_retention.detection_probability < 0.1
+
+
+def test_b2_detection_required_to_beat_degradation(benchmark, location_policy):
+    """Break-ins (and detection probability) needed to watch the store for a month."""
+    accurate_lifetime = accurate_lifetime_of_policy(location_policy)
+
+    def compute():
+        rows = []
+        for name, period in PERIODS:
+            effective = period <= accurate_lifetime
+            snapshots = int(MONTH // period) + 1
+            rows.append((name, "yes" if effective else "no", snapshots,
+                         cumulative_detection(DETECTION_PER_SNAPSHOT, snapshots)))
+        return rows
+
+    rows = benchmark(compute)
+    print_table("B2: sustaining full capture for one month",
+                ["attack period", "captures accurate data", "break-ins / month",
+                 "P(detected)"],
+                [(name, effective, snapshots, f"{p:.3f}")
+                 for name, effective, snapshots, p in rows])
+    effective_rows = [row for row in rows if row[1] == "yes"]
+    assert effective_rows, "at least the fastest attack beats the degradation step"
+    # Every attack fast enough to capture accurate data is detected essentially surely.
+    assert all(probability > 0.99 for _n, _e, _s, probability in effective_rows)

@@ -1,0 +1,129 @@
+"""Experiment C1 — technical challenge 1: transaction semantics under degradation.
+
+"User transactions inserting tuples with degradable attributes generate
+effects all along the lifetime of the degradation process ... even isolation
+considering potential conflicts between degradation steps and reader
+transactions."
+
+Measured series: insert/query throughput with the degradation daemon off vs
+on, the number of reader/degrader lock conflicts as a function of how long
+reader transactions stay open, and the cost of the system transactions that
+wrap each degradation step.
+"""
+
+import pytest
+
+from repro.core.clock import HOUR
+from repro.workloads import LocationTraceGenerator, OLTPMix
+
+from .conftest import build_engine, load_trace, print_table
+
+NUM_EVENTS = 150
+
+
+def test_c1_insert_throughput_with_and_without_daemon(benchmark):
+    """Inserts while past tuples keep degrading vs inserts into a quiet engine."""
+    def run(daemon_enabled: bool) -> int:
+        db = build_engine()
+        if not daemon_enabled:
+            db.daemon.pause()
+        generator = LocationTraceGenerator(num_users=20, seed=31)
+        for index, event in enumerate(generator.events(NUM_EVENTS, interval=3600.0),
+                                      start=1):
+            db.clock.advance_to(event.timestamp)   # one insert per hour -> steps due
+            row = event.as_row()
+            row["id"] = index
+            db.insert_row("person", row)
+        return db.stats.degradation_steps_applied
+
+    steps_with_daemon = run(True)
+    steps_without = run(False)
+    benchmark(lambda: run(True))
+    print_table("C1: degradation work piggy-backed on an insert workload",
+                ["configuration", "degradation steps applied during ingest"],
+                [("daemon enabled", steps_with_daemon),
+                 ("daemon paused", steps_without)])
+    assert steps_with_daemon > 0
+    assert steps_without == 0
+
+
+def test_c1_reader_degrader_conflicts(benchmark):
+    """Long-running readers force degradation steps to defer (and be retried)."""
+    def run(hold_reader: bool):
+        db = build_engine()
+        load_trace(db, 50, interval=60.0, seed=33)
+        reader = None
+        if hold_reader:
+            reader = db.begin()
+            db.execute("SELECT COUNT(*) AS n FROM person", txn=reader)
+        db.advance_time(hours=2)       # first degradation step becomes due
+        conflicts = db.stats.degradation_conflicts
+        applied_while_held = db.stats.degradation_steps_applied
+        if reader is not None:
+            db.commit(reader)
+        db.advance_time(seconds=2)     # deferred steps retry after the backoff
+        return conflicts, applied_while_held, db.stats.degradation_steps_applied
+
+    with_reader = run(True)
+    without_reader = run(False)
+    benchmark(lambda: run(False))
+    print_table("C1: reader / degrader isolation",
+                ["configuration", "lock conflicts", "steps applied while reader active",
+                 "steps applied after commit"],
+                [("reader transaction held open", with_reader[0], with_reader[1],
+                  with_reader[2]),
+                 ("no concurrent reader", without_reader[0], without_reader[1],
+                  without_reader[2])])
+    # Shape: the open reader causes conflicts and defers every step, but no step
+    # is lost — they all apply once the reader commits.
+    assert with_reader[0] > 0 and with_reader[1] == 0
+    assert without_reader[0] == 0
+    assert with_reader[2] == without_reader[2]
+
+
+def test_c1_query_throughput_during_degradation(benchmark):
+    """OLTP mix latency while the degradation daemon is processing steps."""
+    db = build_engine(with_indexes=True)
+    load_trace(db, 120, interval=600.0, seed=35)
+    generator = LocationTraceGenerator(num_users=40, seed=35)
+    mix = OLTPMix(generator, seed=36)
+    queries = mix.queries(30)
+    db.advance_time(hours=2)            # put every tuple one step into its lifecycle
+
+    def run_mix():
+        answered = 0
+        for spec in queries:
+            if len(db.execute(spec.sql, purpose=spec.purpose)) > 0:
+                answered += 1
+        return answered
+
+    answered = benchmark(run_mix)
+    print_table("C1: OLTP mix over a degrading table",
+                ["metric", "value"],
+                [("queries in mix", len(queries)),
+                 ("queries returning rows", answered),
+                 ("degradation steps applied so far", db.stats.degradation_steps_applied),
+                 ("system transactions begun", db.transactions.stats.system_begun)])
+    assert answered > 0
+    assert db.transactions.stats.system_begun >= db.stats.degradation_steps_applied
+
+
+def test_c1_abort_rolls_back_cleanly_during_degradation(benchmark):
+    """Aborting a user transaction while degradation runs leaves no residue."""
+    def run():
+        db = build_engine()
+        load_trace(db, 30, interval=60.0, seed=37)
+        db.advance_time(hours=2)
+        txn = db.begin()
+        db.execute("INSERT INTO person (id, location) "
+                   "VALUES (999, '1 Main Street, Paris')", txn=txn)
+        db.rollback(txn)
+        db.advance_time(hours=1)
+        return db.row_count("person"), db.stats.degradation_steps_applied
+
+    rows, steps = benchmark(run)
+    print_table("C1: rollback while the daemon is active",
+                ["metric", "value"],
+                [("rows after rollback", rows), ("degradation steps applied", steps)])
+    assert rows == 30
+    assert steps >= 30

@@ -1,0 +1,154 @@
+"""Experiment C3 — technical challenge 3: query speed on degradable attributes.
+
+"OLTP queries become less selective when applied to degradable attributes and
+OLAP must take care of updates incurred by degradation.  This introduces the
+need for indexing techniques supporting efficiently degradation."
+
+Measured series:
+
+* selectivity of a location point query at each accuracy level (the paper's
+  "less selective" effect made concrete);
+* point-query cost with a sequential scan vs the degradation-aware GT index,
+  before and after the table has degraded;
+* index maintenance cost of one degradation wave for B+-tree / hash / bitmap /
+  GT indexes (the OLAP update-load effect);
+* OLAP aggregate cost while degradation runs.
+"""
+
+import pytest
+
+from repro.core.domains import build_location_tree
+from repro.index.bitmap import BitmapIndex
+from repro.index.btree import BPlusTreeIndex
+from repro.index.gt_index import GTIndex
+from repro.index.hashindex import HashIndex
+from repro.workloads import LocationTraceGenerator
+
+from .conftest import build_engine, load_trace, print_table
+
+NUM_EVENTS = 200
+
+
+@pytest.fixture(scope="module")
+def degraded_db():
+    db = build_engine(with_indexes=True)
+    load_trace(db, NUM_EVENTS, interval=30.0, seed=51)
+    db.advance_time(hours=2)          # locations now at city level
+    return db
+
+
+def test_c3_selectivity_per_accuracy_level(benchmark, degraded_db):
+    """Result cardinality of a location equality query at each accuracy level."""
+    db = degraded_db
+    tree = build_location_tree()
+    queries = [("city", "Paris"), ("region", "Ile-de-France"), ("country", "France")]
+
+    def measure():
+        rows = []
+        for level_name, value in queries:
+            db.execute(f"DECLARE PURPOSE probe_{level_name} SET ACCURACY LEVEL "
+                       f"{level_name} FOR person.location")
+            result = db.execute(
+                f"SELECT COUNT(*) AS n FROM person WHERE location = '{value}'",
+                purpose=f"probe_{level_name}")
+            rows.append((level_name, value, result.rows[0][0]))
+        return rows
+
+    rows = benchmark(measure)
+    total = db.row_count("person")
+    print_table("C3: selectivity of a location point query per accuracy level",
+                ["accuracy level", "predicate value", f"matching rows (of {total})"],
+                rows)
+    counts = [count for _level, _value, count in rows]
+    # Shape: the coarser the accuracy, the less selective the predicate.
+    assert counts == sorted(counts)
+    assert counts[0] < counts[-1]
+
+
+def test_c3_point_query_seqscan(benchmark, degraded_db):
+    db = degraded_db
+    result = benchmark(lambda: db.execute(
+        "SELECT id FROM person WHERE location = 'Paris' AND id > 0", purpose="service"))
+    assert len(result) > 0
+
+
+def test_c3_point_query_gt_index(benchmark, degraded_db):
+    db = degraded_db
+    explain = db.execute("EXPLAIN SELECT id FROM person WHERE location = 'Paris'",
+                         purpose="service")
+    assert "GTIndexScan" in explain.rows[0][0]
+    result = benchmark(lambda: db.execute(
+        "SELECT id FROM person WHERE location = 'Paris'", purpose="service"))
+    assert len(result) > 0
+
+
+def test_c3_index_maintenance_cost_of_degradation(benchmark):
+    """Entries moved / structures touched when one degradation wave hits each index."""
+    tree = build_location_tree()
+    generator = LocationTraceGenerator(num_users=40, seed=53)
+    events = [generator.event_at(float(i)) for i in range(500)]
+
+    def run():
+        indexes = {
+            "btree": BPlusTreeIndex("btree"),
+            "hash": HashIndex("hash"),
+            "bitmap": BitmapIndex("bitmap"),
+            "gt": GTIndex("gt", tree),
+        }
+        for row_key, event in enumerate(events):
+            for name, index in indexes.items():
+                if name == "gt":
+                    index.insert_at(event.address, 0, row_key)
+                else:
+                    index.insert(event.address, row_key)
+        # One degradation wave: every address becomes its city.
+        for row_key, event in enumerate(events):
+            city = tree.generalize(event.address, 1)
+            for name, index in indexes.items():
+                if name == "gt":
+                    index.degrade_entry(event.address, 0, city, 1, row_key)
+                else:
+                    index.update(event.address, city, row_key)
+        return {name: index.stats.updates for name, index in indexes.items()}
+
+    updates = benchmark(run)
+    print_table("C3: index maintenance for one degradation wave (500 tuples)",
+                ["index", "entry moves"],
+                [(name, count) for name, count in updates.items()])
+    assert all(count == 500 for count in updates.values())
+
+
+def test_c3_gt_bulk_degradation_beats_per_entry(benchmark):
+    """The GT index can degrade whole buckets instead of per-row updates."""
+    tree = build_location_tree()
+    generator = LocationTraceGenerator(num_users=40, seed=55)
+    events = [generator.event_at(float(i)) for i in range(500)]
+
+    def run():
+        index = GTIndex("gt", tree)
+        for row_key, event in enumerate(events):
+            index.insert_at(event.address, 0, row_key)
+        moved = 0
+        operations = 0
+        for address in list(index.values_at_level(0)):
+            moved += index.degrade_bucket(address, 0, 1)
+            operations += 1
+        return moved, operations
+
+    moved, operations = benchmark(run)
+    print_table("C3: GT bulk degradation (bucket moves instead of row updates)",
+                ["metric", "value"],
+                [("postings degraded", moved), ("bucket operations", operations)])
+    assert moved == 500
+    # Far fewer structural operations than per-row updates.
+    assert operations < 500 / 2
+
+
+def test_c3_olap_aggregate_during_degradation(benchmark, degraded_db):
+    """Country-level aggregate while the table sits mid-lifecycle."""
+    db = degraded_db
+    result = benchmark(lambda: db.execute(
+        "SELECT location, COUNT(*) AS events, AVG(salary) AS avg_salary "
+        "FROM person GROUP BY location ORDER BY location", purpose="statistics"))
+    assert len(result) >= 2
+    assert sum(row[1] for row in result.rows) == db.row_count("person")

@@ -1,0 +1,80 @@
+"""Experiment F1 — Fig. 1: the generalization tree of the location domain.
+
+Reproduces the paper's figure as data: per-level value counts of the location
+GT (address → city → region → country → suppressed), verifies the defining
+properties of the degradation function ``f_k`` (idempotence, monotonicity,
+containment) over a sampled workload, and benchmarks the cost of applying
+``f_k`` at each level.
+"""
+
+import pytest
+
+from repro.core.values import SUPPRESSED
+from repro.workloads import LocationTraceGenerator
+
+from .conftest import print_table
+
+SAMPLE = 10_000
+
+
+@pytest.fixture(scope="module")
+def sampled_addresses(location_tree):
+    generator = LocationTraceGenerator(num_users=100, seed=3, tree=location_tree)
+    return [generator.event_at(float(i)).address for i in range(SAMPLE)]
+
+
+def test_fig1_level_structure(benchmark, location_tree):
+    """The per-level cardinalities of the Fig. 1 tree (the figure's 'shape')."""
+    def build_rows():
+        rows = []
+        for level in range(location_tree.num_levels):
+            values = location_tree.values_at_level(level)
+            rows.append((level, location_tree.level_name(level), len(values)))
+        return rows
+
+    rows = benchmark(build_rows)
+    print_table("F1: location generalization tree (Fig. 1)",
+                ["level", "name", "distinct values"], rows)
+    counts = [row[2] for row in rows]
+    # Strictly coarser as we go up, ending at the single suppressed root.
+    assert counts == sorted(counts, reverse=True)
+    assert counts[-1] == 1
+    assert location_tree.level_name(0) == "address"
+    assert location_tree.level_name(3) == "country"
+
+
+def test_fig1_fk_properties_on_workload(benchmark, location_tree, sampled_addresses):
+    """f_k over a 10k-address sample: containment and idempotence hold everywhere."""
+    def degrade_sample():
+        per_level = []
+        for level in range(location_tree.num_levels):
+            degraded = {location_tree.generalize(address, level)
+                        for address in sampled_addresses}
+            per_level.append((location_tree.level_name(level), len(degraded), degraded))
+        return per_level
+
+    per_level = benchmark(degrade_sample)
+    distinct_after_fk = []
+    for name, count, degraded in per_level:
+        distinct_after_fk.append((name, count))
+        level = location_tree.level_of_name(name)
+        for value in list(degraded)[:50]:
+            assert location_tree.generalize(value, level, from_level=level) == value
+    print_table("F1: distinct values of the sample after applying f_k",
+                ["f_k level", "distinct values"], distinct_after_fk)
+    counts = [count for _name, count in distinct_after_fk]
+    assert counts == sorted(counts, reverse=True)
+    assert counts[-1] == 1          # everything collapses onto SUPPRESSED
+    assert location_tree.generalize(sampled_addresses[0], 4) is SUPPRESSED
+
+
+@pytest.mark.parametrize("level", [1, 2, 3, 4])
+def test_fig1_fk_cost_per_level(benchmark, location_tree, sampled_addresses, level):
+    """Micro-benchmark: applying f_k to 10k values at each target level."""
+    sample = sampled_addresses
+
+    def degrade_all():
+        return [location_tree.generalize(address, level) for address in sample]
+
+    result = benchmark(degrade_all)
+    assert len(result) == SAMPLE

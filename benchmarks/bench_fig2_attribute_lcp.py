@@ -1,0 +1,84 @@
+"""Experiment F2 — Fig. 2: the attribute life cycle policy of the location domain.
+
+Reproduces the paper's example LCP (0 min / 1 h / 1 day / 1 month delays) as a
+population experiment: tuples inserted over time are tracked through the
+automaton and the per-state population is reported at checkpoints, which is the
+dynamic view of Fig. 2.  Also benchmarks the scheduler machinery that drives
+those transitions.
+"""
+
+import pytest
+
+from repro.core.clock import DAY, HOUR, MONTH
+from repro.core.lcp import TupleLCP
+from repro.core.scheduler import DegradationScheduler
+
+from .conftest import print_table
+
+POPULATION = 2_000
+ARRIVAL_INTERVAL = 120.0      # one tuple every 2 minutes
+
+
+def test_fig2_state_occupancy_over_time(benchmark, location_policy):
+    """Population per LCP state at increasing checkpoints."""
+    insert_times = [index * ARRIVAL_INTERVAL for index in range(POPULATION)]
+    checkpoints = [
+        ("last insert + 30 min", insert_times[-1] + HOUR / 2),
+        ("last insert + 1 day", insert_times[-1] + DAY),
+        ("last insert + 1 month", insert_times[-1] + MONTH),
+        ("last insert + 5 months", insert_times[-1] + 5 * MONTH),
+    ]
+    state_names = location_policy.state_names()
+
+    def compute_rows():
+        rows = []
+        for label, when in checkpoints:
+            occupancy = [0] * location_policy.num_states
+            for inserted in insert_times:
+                occupancy[location_policy.state_at(when - inserted)] += 1
+            rows.append([label] + occupancy)
+        return rows
+
+    rows = benchmark(compute_rows)
+    print_table("F2: population per LCP state (Fig. 2 policy)",
+                ["checkpoint"] + state_names, rows)
+    # Shape: the population drains monotonically towards the final state.
+    final_counts = [row[-1] for row in rows]
+    assert final_counts == sorted(final_counts)
+    assert rows[-1][-1] == POPULATION          # everything suppressed after 5 months
+    assert rows[0][1] > 0                       # some tuples still accurate after 1 hour
+
+
+def test_fig2_transition_offsets(benchmark, location_policy):
+    """The entry offsets of each state match the paper's delays exactly."""
+    entries = benchmark(location_policy.entry_times)
+    rows = list(zip(location_policy.state_names(), entries))
+    print_table("F2: state entry offsets", ["state", "entered after (s)"], rows)
+    assert entries == [0.0, HOUR, HOUR + DAY, HOUR + DAY + MONTH,
+                       HOUR + DAY + MONTH + 3 * MONTH]
+
+
+def test_fig2_scheduler_throughput(benchmark, location_policy):
+    """Benchmark: registering tuples and draining every timed step."""
+    def run():
+        scheduler = DegradationScheduler()
+        tuple_lcp = TupleLCP({"location": location_policy})
+        for index in range(500):
+            scheduler.register(index, tuple_lcp, inserted_at=index * ARRIVAL_INTERVAL)
+        applied = scheduler.run_due(500 * ARRIVAL_INTERVAL + 12 * MONTH,
+                                    lambda step: True)
+        return len(applied)
+
+    steps = benchmark(run)
+    assert steps == 500 * (location_policy.num_states - 1)
+
+
+def test_fig2_state_lookup_cost(benchmark, location_policy):
+    """Benchmark: evaluating state_at for a large population (pure automaton cost)."""
+    offsets = [i * 97.0 for i in range(POPULATION)]
+
+    def lookup_all():
+        return [location_policy.state_at(offset) for offset in offsets]
+
+    states = benchmark(lookup_all)
+    assert len(states) == POPULATION

@@ -1,0 +1,99 @@
+"""Experiment F3 — Fig. 3: the tuple LCP as the product of attribute LCPs.
+
+Reproduces the combinational view of Fig. 3 for a tuple with two degradable
+attributes (location: 5 states, salary: 3 states in this configuration):
+the reachable lattice, the chain of tuple states actually visited, and the
+occupancy of tuple states over time.  Benchmarks the product-automaton
+operations.
+"""
+
+import pytest
+
+from repro.core.clock import DAY, HOUR, MONTH
+from repro.core.lcp import AttributeLCP, TupleLCP, thaw_state
+
+from .conftest import print_table
+
+
+@pytest.fixture
+def tuple_lcp(location_policy, salary_scheme):
+    salary = AttributeLCP(salary_scheme, states=[0, 2, 4],
+                          transitions=["2 hours", "2 days"], name="salary_lcp_3")
+    return TupleLCP({"location": location_policy, "salary": salary})
+
+
+def test_fig3_visited_chain(benchmark, tuple_lcp):
+    """The chronological chain of tuple states (the paper's t_0 ... t_m)."""
+    rows = []
+    for offset, state in benchmark(tuple_lcp.transition_schedule):
+        levels = thaw_state(state)
+        rows.append((f"{offset:.0f}s", levels["location"], levels["salary"]))
+    print_table("F3: visited tuple states (location x salary)",
+                ["entered at", "location state", "salary state"], rows)
+    assert rows[0][1:] == (0, 0)
+    assert rows[-1][1:] == (4, 2)
+    # Each visited state advances exactly one attribute by one step.
+    states = [state for _offset, state in tuple_lcp.transition_schedule()]
+    assert len(states) == 7
+    for previous, current in zip(states, states[1:]):
+        diff = sum(abs(thaw_state(current)[name] - thaw_state(previous)[name])
+                   for name in ("location", "salary"))
+        assert diff == 1
+
+
+def test_fig3_lattice_vs_chain(benchmark, tuple_lcp):
+    """The full reachable lattice of Fig. 3 versus the single visited path."""
+    lattice = benchmark(tuple_lcp.reachable_states)
+    visited = tuple_lcp.visited_states()
+    print_table("F3: lattice vs visited chain",
+                ["metric", "count"],
+                [("reachable tuple states (lattice)", len(lattice)),
+                 ("visited tuple states (chain)", len(visited))])
+    assert len(lattice) == 5 * 3
+    assert set(visited) <= set(lattice)
+    assert len(visited) == 5 + 3 - 1
+
+
+def test_fig3_occupancy_over_time(benchmark, tuple_lcp):
+    """Tuple-state occupancy for a population inserted over one day."""
+    insert_times = [index * 300.0 for index in range(500)]
+    checkpoints = [HOUR, 3 * HOUR, 2 * DAY, 2 * MONTH, 8 * MONTH]
+
+    def compute_rows():
+        rows = []
+        for when in checkpoints:
+            occupancy = {}
+            for inserted in insert_times:
+                state = tuple(sorted(tuple_lcp.state_at(max(0.0, when - inserted)).items()))
+                occupancy[state] = occupancy.get(state, 0) + 1
+            top = sorted(occupancy.items(), key=lambda kv: kv[1], reverse=True)[:3]
+            rows.append((f"t={when / HOUR:.0f}h", len(occupancy),
+                         "; ".join(f"{dict(state)}x{count}" for state, count in top)))
+        return rows
+
+    rows = benchmark(compute_rows)
+    print_table("F3: distinct tuple states occupied over time",
+                ["checkpoint", "distinct states", "top states"], rows)
+    distinct = [row[1] for row in rows]
+    assert max(distinct) <= len(tuple_lcp.reachable_states())
+    assert distinct[-1] == 1       # eventually everything sits in the final state
+
+
+def test_fig3_product_operations_cost(benchmark, tuple_lcp):
+    """Benchmark: evaluating the product automaton for a 5k-tuple population."""
+    offsets = [index * 77.0 for index in range(5_000)]
+
+    def evaluate():
+        return [tuple_lcp.state_at(offset) for offset in offsets]
+
+    states = benchmark(evaluate)
+    assert len(states) == 5_000
+
+
+def test_fig3_schedule_generation_cost(benchmark, tuple_lcp):
+    """Benchmark: generating the full transition schedule repeatedly."""
+    def build():
+        return tuple_lcp.transition_schedule()
+
+    schedule = benchmark(build)
+    assert len(schedule) == 7

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Hospital admissions with per-patient policies and event-triggered degradation.
+
+Hospitals must keep precise diagnoses while a patient is under treatment, but
+long after discharge only coarse statistics (per-specialty admission counts)
+are needed.  This example exercises the paper's future-work extensions:
+
+* a *paranoid patient* registers a stricter life cycle policy for their own
+  records (per-tuple policies);
+* the final suppression of psychiatric diagnoses waits for an explicit
+  ``review_closed`` event rather than a timer (event-triggered transitions).
+
+Run with:  python examples/hospital_records.py
+"""
+
+from repro import AttributeLCP, InstantDB
+from repro.core.domains import build_diagnosis_tree
+from repro.core.schema import Column, TableSchema
+from repro.workloads import AdmissionGenerator
+
+NUM_ADMISSIONS = 150
+PARANOID_PATIENT = 7
+
+
+def main() -> None:
+    db = InstantDB()
+    diagnosis = db.register_domain(build_diagnosis_tree())
+    db.register_policy(AttributeLCP(
+        diagnosis, transitions=["30 days", "180 days", "2 years"],
+        name="diagnosis_lcp"))
+
+    schema = TableSchema("admission", [
+        Column("id", "INT", primary_key=True),
+        Column("patient_id", "INT"),
+        Column("diagnosis", "TEXT", degradable=True, domain="diagnosis",
+               policy="diagnosis_lcp"),
+        Column("ward", "TEXT"),
+        Column("duration_days", "INT"),
+    ])
+    db.create_table(schema, selector_column="patient_id")
+    db.execute("CREATE INDEX idx_patient ON admission (patient_id) USING hash")
+    db.execute("CREATE INDEX idx_diagnosis ON admission (diagnosis) USING gt")
+    db.execute("DECLARE PURPOSE care SET ACCURACY LEVEL diagnosis FOR admission.diagnosis")
+    db.execute("DECLARE PURPOSE quality SET ACCURACY LEVEL disease_group FOR admission.diagnosis")
+    db.execute("DECLARE PURPOSE planning SET ACCURACY LEVEL specialty FOR admission.diagnosis")
+
+    # The paranoid patient wants their diagnoses gone much faster, and the last
+    # step gated on an explicit review event.
+    strict = AttributeLCP(diagnosis, transitions=[
+        "7 days", "30 days", {"event": "review_closed"},
+    ], name="paranoid_diagnosis_lcp")
+    db.register_user_policy("admission", PARANOID_PATIENT, {"diagnosis": strict})
+
+    generator = AdmissionGenerator(num_patients=30, seed=17)
+    events = generator.events(NUM_ADMISSIONS, interval=6 * 3600.0)
+    for index, event in enumerate(events, start=1):
+        db.clock.advance_to(event.timestamp)
+        row = event.as_row()
+        row["id"] = index
+        # Route a share of admissions to the paranoid patient so the contrast shows.
+        if index % 10 == 0:
+            row["patient_id"] = PARANOID_PATIENT
+        db.insert_row("admission", row)
+    print(f"ingested {NUM_ADMISSIONS} admissions "
+          f"over {events[-1].timestamp / 86400:.1f} days")
+
+    # Care teams see exact diagnoses for recent admissions.
+    recent = db.execute(
+        "SELECT COUNT(*) AS n FROM admission", purpose="care").rows[0][0]
+    print(f"admissions with exact diagnosis available (purpose 'care'): {recent}")
+
+    # Two months later: regular patients are at disease-group level, the
+    # paranoid patient's records are already specialty-only or waiting on review.
+    db.advance_time(days=60)
+    print("\nafter 60 days:")
+    for purpose in ("care", "quality", "planning"):
+        count = db.execute("SELECT COUNT(*) AS n FROM admission", purpose=purpose).rows[0][0]
+        print(f"  computable admissions under purpose {purpose!r}: {count}")
+    paranoid_levels = db.execute(
+        f"SELECT diagnosis, COUNT(*) AS n FROM admission "
+        f"WHERE patient_id = {PARANOID_PATIENT} GROUP BY diagnosis",
+        purpose="planning")
+    print(f"  paranoid patient's records (specialty level only): {paranoid_levels.rows}")
+
+    # Hospital planning still gets its per-specialty statistics years later.
+    db.advance_time(days=300)
+    stats = db.execute(
+        "SELECT diagnosis, COUNT(*) AS admissions, AVG(duration_days) AS avg_stay "
+        "FROM admission GROUP BY diagnosis ORDER BY diagnosis", purpose="planning")
+    print("\nper-specialty statistics after one year (purpose 'planning'):")
+    for specialty, count, avg_stay in stats.rows:
+        print(f"  {str(specialty):18s} admissions={count:3d} avg_stay={avg_stay:.1f} days")
+
+    # Closing the review releases the paranoid patient's final suppression.
+    before = db.row_count("admission")
+    db.fire_event("review_closed")
+    after = db.row_count("admission")
+    print(f"\nfiring 'review_closed': {before - after} paranoid-patient records removed "
+          f"({after} admissions remain)")
+
+    db.advance_time(days=1200)
+    print(f"after the full life cycle: {db.row_count('admission')} admissions remain")
+
+
+if __name__ == "__main__":
+    main()

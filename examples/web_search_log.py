@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Degrading a web-search log (the AOL incident from the paper's introduction).
+
+Search engines keep query logs for ranking and abuse detection, but a leaked
+log exposes exactly the kind of sensitive detail the 2006 AOL release did.
+Here the raw query string degrades to its topic after a day, to a broad
+category after a month, and disappears after a year — while the per-user
+search history (needed for personalization) keeps its stable attributes.
+
+The script also contrasts degradation with k-anonymity: the anonymized log
+loses the user linkage entirely, whereas the degraded log still supports
+user-centric queries at reduced accuracy.
+
+Run with:  python examples/web_search_log.py
+"""
+
+from repro import AttributeLCP, InstantDB
+from repro.baselines import KAnonymizer
+from repro.core.domains import build_websearch_tree
+from repro.workloads import SearchLogGenerator, searchlog_table_sql
+
+NUM_SEARCHES = 400
+
+
+def main() -> None:
+    db = InstantDB()
+    websearch = db.register_domain(build_websearch_tree())
+    db.register_policy(AttributeLCP(
+        websearch, transitions=["1 day", "1 month", "1 year"], name="websearch_lcp"))
+    db.execute(searchlog_table_sql(policy_name="websearch_lcp"))
+    db.execute("CREATE INDEX idx_user ON searchlog (user_id) USING hash")
+    db.execute("CREATE INDEX idx_query ON searchlog (query) USING gt")
+    db.execute("DECLARE PURPOSE ranking SET ACCURACY LEVEL query FOR searchlog.query")
+    db.execute("DECLARE PURPOSE trends SET ACCURACY LEVEL topic FOR searchlog.query")
+    db.execute("DECLARE PURPOSE reporting SET ACCURACY LEVEL category FOR searchlog.query")
+
+    generator = SearchLogGenerator(num_users=60, seed=13)
+    events = generator.events(NUM_SEARCHES, interval=30.0)
+    for index, event in enumerate(events, start=1):
+        db.clock.advance_to(event.timestamp)
+        row = event.as_row()
+        row["id"] = index
+        db.insert_row("searchlog", row)
+    print(f"ingested {NUM_SEARCHES} searches from {generator.num_users} users")
+
+    # Fresh data: the ranking purpose sees raw queries.
+    raw = db.execute("SELECT COUNT(*) AS n FROM searchlog", purpose="ranking")
+    print(f"queries visible at full accuracy right after collection: {raw.rows[0][0]}")
+
+    # A week later every query has degraded to its topic.
+    db.advance_time(days=7)
+    fresh = db.execute("SELECT COUNT(*) AS n FROM searchlog", purpose="ranking").rows[0][0]
+    print(f"\nafter one week, raw query strings still visible: {fresh}")
+    print("topic-level trends (purpose 'trends'):")
+    trends = db.execute(
+        "SELECT query, COUNT(*) AS searches FROM searchlog GROUP BY query "
+        "ORDER BY query", purpose="trends")
+    for topic, count in trends.rows[:8]:
+        print(f"  {str(topic):20s} {count}")
+
+    # User-centric history still works because the donor identity is stable.
+    heavy_user = db.execute(
+        "SELECT user_id, COUNT(*) AS searches FROM searchlog GROUP BY user_id "
+        "ORDER BY searches DESC LIMIT 1", purpose="trends")
+    user_id, searches = heavy_user.rows[0]
+    print(f"\nmost active user: {user_id} with {searches} searches — their degraded history:")
+    history = db.execute(
+        f"SELECT query, clicked FROM searchlog WHERE user_id = {user_id} LIMIT 5",
+        purpose="trends")
+    for topic, clicked in history.rows:
+        print(f"  topic={str(topic):20s} clicked={clicked}")
+
+    # Contrast with k-anonymity: the published log drops the user linkage.
+    anonymizer = KAnonymizer({"query": build_websearch_tree()},
+                             identifier_columns=["user_id"])
+    rows = [{"user_id": event.user_id, "query": event.query} for event in events]
+    result = anonymizer.anonymize(rows, k=10)
+    print(f"\nk-anonymity (k=10) comparison: generalization level used = "
+          f"{result.levels['query']} "
+          f"({build_websearch_tree().level_name(result.levels['query'])}), "
+          f"user linkage suppressed entirely")
+    print("degradation keeps the user linkage (user-oriented services keep working) "
+          "while the sensitive query text fades away")
+
+    # A year and a half later the log is empty.
+    db.advance_time(days=500)
+    print(f"\nafter ~1.5 years: {db.row_count('searchlog')} log entries remain")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The project is fully described in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools lacks the
+PEP 660 editable-wheel backend (e.g. offline machines without the ``wheel``
+package), via the legacy ``setup.py develop`` code path:
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

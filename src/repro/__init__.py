@@ -1,0 +1,61 @@
+"""InstantDB reproduction: a data-degradation-aware DBMS.
+
+Reproduction of *InstantDB: Enforcing Timely Degradation of Sensitive Data*
+(Anciaux, Bouganim, van Heerde, Pucheral, Apers — ICDE 2008).
+
+The public API is re-exported here; see :class:`repro.engine.InstantDB` for the
+engine facade and ``DESIGN.md`` for the full system inventory.
+"""
+
+from .core import (
+    DAY,
+    HOUR,
+    MINUTE,
+    MONTH,
+    NULL,
+    SECOND,
+    SUPPRESSED,
+    WEEK,
+    YEAR,
+    AttributeLCP,
+    Column,
+    GeneralizationScheme,
+    GeneralizationTree,
+    InstantDBError,
+    NumericRangeGeneralization,
+    Purpose,
+    SimulatedClock,
+    TableSchema,
+    TimestampGeneralization,
+    Transition,
+    TupleLCP,
+    ValueType,
+    duration,
+)
+from .engine import InstantDB
+from .query.executor import QueryResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InstantDB",
+    "QueryResult",
+    "GeneralizationScheme",
+    "GeneralizationTree",
+    "NumericRangeGeneralization",
+    "TimestampGeneralization",
+    "AttributeLCP",
+    "TupleLCP",
+    "Transition",
+    "Purpose",
+    "Column",
+    "TableSchema",
+    "ValueType",
+    "SimulatedClock",
+    "InstantDBError",
+    "SUPPRESSED",
+    "NULL",
+    "duration",
+    "SECOND", "MINUTE", "HOUR", "DAY", "WEEK", "MONTH", "YEAR",
+    "__version__",
+]

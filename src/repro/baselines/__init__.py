@@ -1,0 +1,11 @@
+"""Baseline comparators: traditional storage, limited retention, k-anonymity."""
+
+from .anonymization import AnonymizationResult, KAnonymizer
+from .retention import LimitedRetentionStore
+from .traditional import BaselineRow, TraditionalStore
+
+__all__ = [
+    "TraditionalStore", "BaselineRow",
+    "LimitedRetentionStore",
+    "KAnonymizer", "AnonymizationResult",
+]

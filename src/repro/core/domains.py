@@ -1,0 +1,219 @@
+"""Ready-made attribute domains used across examples, tests and benchmarks.
+
+The paper motivates degradation with location traces (cell phones), salaries,
+web-search queries and medical events.  This module builds the corresponding
+generalization schemes once so that every example and benchmark degrades the
+same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .generalization import (
+    GeneralizationScheme,
+    GeneralizationTree,
+    NumericRangeGeneralization,
+    TimestampGeneralization,
+)
+
+# ---------------------------------------------------------------------------
+# Location domain (Fig. 1 of the paper): address → city → region → country.
+# ---------------------------------------------------------------------------
+
+#: (city, region, country) triples; street addresses are generated per city.
+_CITIES: Tuple[Tuple[str, str, str], ...] = (
+    ("Paris", "Ile-de-France", "France"),
+    ("Versailles", "Ile-de-France", "France"),
+    ("Lyon", "Auvergne-Rhone-Alpes", "France"),
+    ("Grenoble", "Auvergne-Rhone-Alpes", "France"),
+    ("Marseille", "Provence-Alpes-Cote d'Azur", "France"),
+    ("Nice", "Provence-Alpes-Cote d'Azur", "France"),
+    ("Lille", "Hauts-de-France", "France"),
+    ("Bordeaux", "Nouvelle-Aquitaine", "France"),
+    ("Toulouse", "Occitanie", "France"),
+    ("Nantes", "Pays de la Loire", "France"),
+    ("Amsterdam", "North Holland", "Netherlands"),
+    ("Haarlem", "North Holland", "Netherlands"),
+    ("Enschede", "Overijssel", "Netherlands"),
+    ("Zwolle", "Overijssel", "Netherlands"),
+    ("Rotterdam", "South Holland", "Netherlands"),
+    ("The Hague", "South Holland", "Netherlands"),
+    ("Utrecht", "Utrecht", "Netherlands"),
+    ("Eindhoven", "North Brabant", "Netherlands"),
+    ("Brussels", "Brussels-Capital", "Belgium"),
+    ("Antwerp", "Flanders", "Belgium"),
+    ("Ghent", "Flanders", "Belgium"),
+    ("Liege", "Wallonia", "Belgium"),
+    ("Berlin", "Berlin", "Germany"),
+    ("Munich", "Bavaria", "Germany"),
+    ("Nuremberg", "Bavaria", "Germany"),
+    ("Hamburg", "Hamburg", "Germany"),
+    ("Cologne", "North Rhine-Westphalia", "Germany"),
+    ("Dusseldorf", "North Rhine-Westphalia", "Germany"),
+    ("Madrid", "Community of Madrid", "Spain"),
+    ("Barcelona", "Catalonia", "Spain"),
+    ("Girona", "Catalonia", "Spain"),
+    ("Seville", "Andalusia", "Spain"),
+    ("Milan", "Lombardy", "Italy"),
+    ("Bergamo", "Lombardy", "Italy"),
+    ("Rome", "Lazio", "Italy"),
+    ("Turin", "Piedmont", "Italy"),
+)
+
+#: Streets used to mint level-0 addresses for every city.
+_STREETS: Tuple[str, ...] = (
+    "1 Main Street",
+    "2 Station Road",
+    "3 Church Lane",
+    "4 Market Square",
+    "5 River Walk",
+    "6 Castle Hill",
+    "7 University Avenue",
+    "8 Harbour View",
+)
+
+LOCATION_LEVEL_NAMES: Tuple[str, ...] = ("address", "city", "region", "country", "suppressed")
+
+
+def addresses_for_city(city: str) -> List[str]:
+    """The synthetic level-0 addresses attached to ``city``."""
+    return [f"{street}, {city}" for street in _STREETS]
+
+
+def build_location_tree(cities: Sequence[Tuple[str, str, str]] = _CITIES) -> GeneralizationTree:
+    """Build the Fig. 1 location GT: address → city → region → country → ∅."""
+    paths = []
+    for city, region, country in cities:
+        for address in addresses_for_city(city):
+            paths.append((address, city, region, country))
+    return GeneralizationTree.from_paths(
+        "location", paths, level_names=list(LOCATION_LEVEL_NAMES)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Salary domain: exact → 100-range → 1000-range → 10000-range → suppressed.
+# ---------------------------------------------------------------------------
+
+SALARY_LEVEL_NAMES: Tuple[str, ...] = (
+    "exact", "range100", "range1000", "range10000", "suppressed"
+)
+
+
+def build_salary_ranges() -> NumericRangeGeneralization:
+    """Salary degraded into progressively wider ranges (paper's RANGE1000)."""
+    return NumericRangeGeneralization(
+        "salary", widths=[100, 1000, 10000], level_names=list(SALARY_LEVEL_NAMES)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Web search domain (AOL-style logs mentioned in the paper's introduction):
+# query string → topic → category → suppressed.
+# ---------------------------------------------------------------------------
+
+_WEB_TOPICS: Dict[str, Dict[str, List[str]]] = {
+    "Health": {
+        "symptoms": ["persistent cough remedy", "migraine triggers", "back pain stretches"],
+        "conditions": ["diabetes diet plan", "hypertension medication", "asthma inhaler types"],
+        "providers": ["cardiologist near me", "dermatologist reviews", "pediatrician opening hours"],
+    },
+    "Finance": {
+        "banking": ["open savings account", "compare credit cards", "mortgage rates today"],
+        "investing": ["index fund basics", "dividend stocks list", "retirement portfolio mix"],
+        "taxes": ["income tax brackets", "deduct home office", "capital gains calculator"],
+    },
+    "Travel": {
+        "flights": ["cheap flights to rome", "baggage allowance economy", "red eye flight tips"],
+        "hotels": ["boutique hotel paris", "hostel amsterdam centre", "late checkout policy"],
+        "destinations": ["things to do in lyon", "best beaches spain", "alps hiking routes"],
+    },
+    "Shopping": {
+        "electronics": ["noise cancelling headphones", "mirrorless camera deals", "laptop for students"],
+        "clothing": ["running shoes sale", "winter coat warm", "linen shirt summer"],
+        "groceries": ["organic vegetables delivery", "sourdough starter kit", "fair trade coffee beans"],
+    },
+}
+
+WEBSEARCH_LEVEL_NAMES: Tuple[str, ...] = ("query", "topic", "category", "suppressed")
+
+
+def build_websearch_tree() -> GeneralizationTree:
+    """Web search queries degraded to topics then categories."""
+    paths = []
+    for category, topics in _WEB_TOPICS.items():
+        for topic, queries in topics.items():
+            for query in queries:
+                paths.append((query, topic, category))
+    return GeneralizationTree.from_paths(
+        "websearch", paths, level_names=list(WEBSEARCH_LEVEL_NAMES)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Medical diagnosis domain: diagnosis → disease group → specialty → suppressed.
+# ---------------------------------------------------------------------------
+
+_DIAGNOSES: Tuple[Tuple[str, str, str], ...] = (
+    ("type 2 diabetes", "metabolic disorders", "endocrinology"),
+    ("type 1 diabetes", "metabolic disorders", "endocrinology"),
+    ("hyperthyroidism", "thyroid disorders", "endocrinology"),
+    ("hypothyroidism", "thyroid disorders", "endocrinology"),
+    ("asthma", "obstructive airway disease", "pulmonology"),
+    ("copd", "obstructive airway disease", "pulmonology"),
+    ("pneumonia", "respiratory infection", "pulmonology"),
+    ("bronchitis", "respiratory infection", "pulmonology"),
+    ("hypertension", "vascular disease", "cardiology"),
+    ("atrial fibrillation", "arrhythmia", "cardiology"),
+    ("heart failure", "vascular disease", "cardiology"),
+    ("angina", "ischemic heart disease", "cardiology"),
+    ("migraine", "headache disorders", "neurology"),
+    ("epilepsy", "seizure disorders", "neurology"),
+    ("multiple sclerosis", "demyelinating disease", "neurology"),
+    ("anxiety disorder", "mood and anxiety", "psychiatry"),
+    ("depression", "mood and anxiety", "psychiatry"),
+    ("eczema", "inflammatory skin disease", "dermatology"),
+    ("psoriasis", "inflammatory skin disease", "dermatology"),
+    ("melanoma", "skin cancer", "dermatology"),
+)
+
+DIAGNOSIS_LEVEL_NAMES: Tuple[str, ...] = ("diagnosis", "disease_group", "specialty", "suppressed")
+
+
+def build_diagnosis_tree() -> GeneralizationTree:
+    """Hospital diagnosis GT used by the medical example workload."""
+    return GeneralizationTree.from_paths(
+        "diagnosis", list(_DIAGNOSES), level_names=list(DIAGNOSIS_LEVEL_NAMES)
+    )
+
+
+def build_timestamp_scheme() -> TimestampGeneralization:
+    """Event timestamps degraded minute → hour → day → month."""
+    return TimestampGeneralization("event_time")
+
+
+def standard_domains() -> Dict[str, GeneralizationScheme]:
+    """All ready-made domains keyed by name, as registered by quickstart code."""
+    return {
+        "location": build_location_tree(),
+        "salary": build_salary_ranges(),
+        "websearch": build_websearch_tree(),
+        "diagnosis": build_diagnosis_tree(),
+        "event_time": build_timestamp_scheme(),
+    }
+
+
+__all__ = [
+    "LOCATION_LEVEL_NAMES",
+    "SALARY_LEVEL_NAMES",
+    "WEBSEARCH_LEVEL_NAMES",
+    "DIAGNOSIS_LEVEL_NAMES",
+    "addresses_for_city",
+    "build_location_tree",
+    "build_salary_ranges",
+    "build_websearch_tree",
+    "build_diagnosis_tree",
+    "build_timestamp_scheme",
+    "standard_domains",
+]

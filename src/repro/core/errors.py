@@ -1,0 +1,113 @@
+"""Exception hierarchy for the InstantDB reproduction.
+
+Every error raised by the library derives from :class:`InstantDBError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class InstantDBError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class ConfigurationError(InstantDBError):
+    """A component was configured inconsistently (bad policy, bad schema...)."""
+
+
+class GeneralizationError(InstantDBError):
+    """A generalization tree is malformed or a value cannot be generalized."""
+
+
+class UnknownValueError(GeneralizationError):
+    """A value does not belong to the domain covered by a generalization tree."""
+
+
+class PolicyError(InstantDBError):
+    """A life cycle policy is malformed or violated."""
+
+
+class IrreversibilityError(PolicyError):
+    """An operation attempted to move data towards a *more* accurate state."""
+
+
+class SchemaError(InstantDBError):
+    """Table or domain schema violation."""
+
+
+class CatalogError(InstantDBError):
+    """Unknown table, column, domain, policy or purpose."""
+
+
+class StorageError(InstantDBError):
+    """Low level storage failure (page, heap file, buffer pool...)."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit in the target page."""
+
+
+class RecordNotFoundError(StorageError):
+    """A record id does not resolve to a live record."""
+
+
+class WALError(StorageError):
+    """Write-ahead log corruption or protocol violation."""
+
+
+class CryptoError(StorageError):
+    """Key-store failure; typically a key was already destroyed."""
+
+
+class KeyDestroyedError(CryptoError):
+    """Data was requested whose encryption key has been destroyed (degraded)."""
+
+
+class IndexError_(InstantDBError):
+    """Index structure violation (named with a trailing underscore to avoid
+    shadowing the builtin :class:`IndexError`)."""
+
+
+class TransactionError(InstantDBError):
+    """Transaction protocol violation."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (deadlock victim, explicit rollback...)."""
+
+
+class DeadlockError(TransactionAborted):
+    """The transaction was chosen as a deadlock victim."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class QueryError(InstantDBError):
+    """SQL front-end failure."""
+
+
+class ParseError(QueryError):
+    """The SQL text could not be parsed."""
+
+
+class BindingError(QueryError):
+    """Name resolution / accuracy-level binding failure."""
+
+
+class ExecutionError(QueryError):
+    """Runtime failure while executing a query plan."""
+
+
+class AccuracyError(QueryError):
+    """A query demanded an accuracy level that is not computable."""
+
+
+class DegradationError(InstantDBError):
+    """The degradation engine failed to apply a scheduled step."""
+
+
+class RecoveryError(InstantDBError):
+    """Crash recovery failed or would resurrect degraded data."""

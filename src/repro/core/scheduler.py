@@ -1,0 +1,304 @@
+"""Degradation scheduler: the machinery that makes degradation *timely*.
+
+The scheduler tracks, for every live record, the next due degradation step of
+each of its degradable attributes.  Steps are kept in a priority queue ordered
+by due time; :meth:`DegradationScheduler.run_due` pops every step whose due
+time has passed and hands it to an *applier* callback (provided by the engine)
+which performs the physical degradation in the store, the indexes and the log.
+
+The scheduler also supports the paper's future-work extensions:
+
+* event-triggered transitions — :meth:`fire_event` releases steps waiting on a
+  named event;
+* per-tuple policies — each record is registered with its own
+  :class:`~repro.core.lcp.TupleLCP`, so different tuples may follow different
+  automata.
+
+Timeliness statistics (lag between the scheduled due time and the time the
+step is actually applied) are collected for the C2 benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .errors import DegradationError
+from .lcp import NEVER, AttributeLCP, TupleLCP
+
+
+@dataclass(frozen=True)
+class DegradationStep:
+    """One scheduled attribute transition of one record."""
+
+    record_id: Any
+    attribute: str
+    from_state: int
+    to_state: int
+    due: float
+    #: Name of the event that releases the step, or ``None`` for timed steps.
+    event: Optional[str] = None
+
+    def describe(self) -> str:
+        trigger = f"at t={self.due}" if self.event is None else f"on event {self.event!r}"
+        return (f"record {self.record_id}: {self.attribute} "
+                f"d{self.from_state}->d{self.to_state} {trigger}")
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate timeliness statistics exposed to benchmarks and tests."""
+
+    steps_applied: int = 0
+    steps_cancelled: int = 0
+    records_completed: int = 0
+    total_lag: float = 0.0
+    max_lag: float = 0.0
+    lags: List[float] = field(default_factory=list)
+
+    def record_lag(self, lag: float) -> None:
+        self.steps_applied += 1
+        self.total_lag += lag
+        self.max_lag = max(self.max_lag, lag)
+        self.lags.append(lag)
+
+    @property
+    def mean_lag(self) -> float:
+        return self.total_lag / self.steps_applied if self.steps_applied else 0.0
+
+    def percentile_lag(self, q: float) -> float:
+        """Lag percentile (``q`` in [0, 1])."""
+        if not self.lags:
+            return 0.0
+        ordered = sorted(self.lags)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+
+@dataclass
+class _Registration:
+    """Book-keeping for one live record."""
+
+    record_id: Any
+    tuple_lcp: TupleLCP
+    inserted_at: float
+    current_states: Dict[str, int]
+    #: Attributes currently blocked on a named event.
+    waiting_on: Dict[str, str] = field(default_factory=dict)
+
+    def is_final(self) -> bool:
+        return all(
+            self.current_states[name] == lcp.num_states - 1
+            for name, lcp in self.tuple_lcp.attributes.items()
+        )
+
+
+#: Applier callback: receives the step and must perform the physical
+#: degradation; it returns True on success (False aborts rescheduling).
+StepApplier = Callable[[DegradationStep], bool]
+
+#: Callback invoked when a record reaches its final tuple state.
+CompletionCallback = Callable[[Any], None]
+
+
+class DegradationScheduler:
+    """Priority-queue scheduler of degradation steps.
+
+    The scheduler is deliberately independent from the storage engine: the
+    engine registers records and provides the applier; tests can drive it with
+    plain dictionaries.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, DegradationStep]] = []
+        self._registrations: Dict[Any, _Registration] = {}
+        self._event_waiters: Dict[str, List[Tuple[Any, str]]] = {}
+        self._counter = itertools.count()
+        self.stats = SchedulerStats()
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, record_id: Any, tuple_lcp: TupleLCP, inserted_at: float) -> None:
+        """Start tracking ``record_id`` inserted at ``inserted_at`` (most accurate state)."""
+        if record_id in self._registrations:
+            raise DegradationError(f"record {record_id!r} is already registered")
+        registration = _Registration(
+            record_id=record_id,
+            tuple_lcp=tuple_lcp,
+            inserted_at=inserted_at,
+            current_states={name: 0 for name in tuple_lcp.attributes},
+        )
+        self._registrations[record_id] = registration
+        for attribute in tuple_lcp.attributes:
+            self._schedule_next(registration, attribute)
+
+    def cancel(self, record_id: Any) -> None:
+        """Stop tracking ``record_id`` (explicit delete).  Pending heap entries
+        become stale and are skipped lazily when popped."""
+        if record_id in self._registrations:
+            del self._registrations[record_id]
+            self.stats.steps_cancelled += 1
+
+    def is_registered(self, record_id: Any) -> bool:
+        return record_id in self._registrations
+
+    def registered_count(self) -> int:
+        return len(self._registrations)
+
+    def current_state(self, record_id: Any) -> Dict[str, int]:
+        registration = self._registration(record_id)
+        return dict(registration.current_states)
+
+    def _registration(self, record_id: Any) -> _Registration:
+        try:
+            return self._registrations[record_id]
+        except KeyError:
+            raise DegradationError(f"record {record_id!r} is not registered") from None
+
+    # -- scheduling internals -------------------------------------------------
+
+    def _schedule_next(self, registration: _Registration, attribute: str) -> None:
+        lcp = registration.tuple_lcp.attributes[attribute]
+        state = registration.current_states[attribute]
+        if state + 1 >= lcp.num_states:
+            return
+        transition = lcp.transitions[state]
+        if transition.timed:
+            entry_times = lcp.entry_times()
+            due = registration.inserted_at + entry_times[state + 1]
+            if due == NEVER:
+                return
+            step = DegradationStep(
+                record_id=registration.record_id,
+                attribute=attribute,
+                from_state=state,
+                to_state=state + 1,
+                due=due,
+            )
+            heapq.heappush(self._heap, (due, next(self._counter), step))
+        else:
+            registration.waiting_on[attribute] = transition.event
+            self._event_waiters.setdefault(transition.event, []).append(
+                (registration.record_id, attribute)
+            )
+
+    def defer(self, step: DegradationStep, until: float) -> None:
+        """Re-queue a step that could not be applied yet (e.g. lock conflict).
+
+        The step keeps its original transition but becomes due at ``until``.
+        """
+        registration = self._registrations.get(step.record_id)
+        if registration is None:
+            return
+        if registration.current_states.get(step.attribute) != step.from_state:
+            return
+        deferred = DegradationStep(
+            record_id=step.record_id,
+            attribute=step.attribute,
+            from_state=step.from_state,
+            to_state=step.to_state,
+            due=step.due,
+            event=step.event,
+        )
+        heapq.heappush(self._heap, (until, next(self._counter), deferred))
+
+    # -- events ----------------------------------------------------------------
+
+    def fire_event(self, event: str, now: float) -> List[DegradationStep]:
+        """Release every step waiting on ``event``; due time is ``now``."""
+        released: List[DegradationStep] = []
+        for record_id, attribute in self._event_waiters.pop(event, []):
+            registration = self._registrations.get(record_id)
+            if registration is None:
+                continue
+            if registration.waiting_on.get(attribute) != event:
+                continue
+            del registration.waiting_on[attribute]
+            state = registration.current_states[attribute]
+            step = DegradationStep(
+                record_id=record_id,
+                attribute=attribute,
+                from_state=state,
+                to_state=state + 1,
+                due=now,
+                event=event,
+            )
+            heapq.heappush(self._heap, (now, next(self._counter), step))
+            released.append(step)
+        return released
+
+    # -- running ----------------------------------------------------------------
+
+    def peek_next_due(self) -> Optional[float]:
+        """Due time of the earliest pending step (stale entries skipped)."""
+        while self._heap:
+            due, _seq, step = self._heap[0]
+            registration = self._registrations.get(step.record_id)
+            if registration is None or registration.current_states.get(step.attribute) != step.from_state:
+                heapq.heappop(self._heap)
+                continue
+            return due
+        return None
+
+    def due_steps(self, now: float) -> List[DegradationStep]:
+        """Pop every step due at or before ``now`` without applying it."""
+        steps: List[DegradationStep] = []
+        while self._heap and self._heap[0][0] <= now:
+            _due, _seq, step = heapq.heappop(self._heap)
+            registration = self._registrations.get(step.record_id)
+            if registration is None:
+                continue
+            if registration.current_states.get(step.attribute) != step.from_state:
+                continue
+            steps.append(step)
+        return steps
+
+    def run_due(self, now: float, applier: StepApplier,
+                on_complete: Optional[CompletionCallback] = None) -> List[DegradationStep]:
+        """Apply every due step through ``applier`` and schedule follow-ups.
+
+        Returns the steps that were applied successfully.  Steps whose applier
+        returns ``False`` are dropped (the record keeps its previous state);
+        the engine is expected to raise instead for unexpected failures.
+        """
+        applied: List[DegradationStep] = []
+        # Steps released by an applied step (none today, but event cascades may
+        # add due steps), so loop until the queue has nothing due.
+        while True:
+            batch = self.due_steps(now)
+            if not batch:
+                break
+            for step in batch:
+                registration = self._registrations.get(step.record_id)
+                if registration is None:
+                    continue
+                if not applier(step):
+                    continue
+                registration.current_states[step.attribute] = step.to_state
+                self.stats.record_lag(max(0.0, now - step.due))
+                applied.append(step)
+                self._schedule_next(registration, step.attribute)
+                if registration.is_final():
+                    self.stats.records_completed += 1
+                    del self._registrations[step.record_id]
+                    if on_complete is not None:
+                        on_complete(step.record_id)
+        return applied
+
+    def pending_count(self) -> int:
+        """Number of non-stale steps currently queued (O(n) scan, test helper)."""
+        count = 0
+        for _due, _seq, step in self._heap:
+            registration = self._registrations.get(step.record_id)
+            if registration is None:
+                continue
+            if registration.current_states.get(step.attribute) != step.from_state:
+                continue
+            count += 1
+        return count
+
+
+__all__ = ["DegradationStep", "DegradationScheduler", "SchedulerStats",
+           "StepApplier", "CompletionCallback"]

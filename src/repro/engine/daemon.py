@@ -1,0 +1,102 @@
+"""The degradation daemon.
+
+The daemon is the component that turns the scheduler's due steps into actual
+storage mutations, *timely*.  It can be driven in two ways:
+
+* attached to a :class:`~repro.core.clock.SimulatedClock`, it runs after every
+  clock advancement (the mode used by tests, examples and benchmarks);
+* polled explicitly through :meth:`DegradationDaemon.run_pending`, which is
+  what a wall-clock deployment would call from a background thread or timer.
+
+The daemon delegates the physical work to the engine-provided applier and
+tracks timeliness statistics through the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..core.clock import Clock, SimulatedClock
+from ..core.scheduler import DegradationScheduler, DegradationStep
+
+
+@dataclass
+class DaemonStats:
+    invocations: int = 0
+    steps_applied: int = 0
+    batches: int = 0
+
+
+class DegradationDaemon:
+    """Drives the degradation scheduler against the engine."""
+
+    def __init__(self, clock: Clock, scheduler: DegradationScheduler,
+                 applier: Callable[[DegradationStep], bool],
+                 on_complete: Optional[Callable[[object], None]] = None,
+                 auto_attach: bool = True) -> None:
+        self.clock = clock
+        self.scheduler = scheduler
+        self.applier = applier
+        self.on_complete = on_complete
+        self.stats = DaemonStats()
+        self._enabled = True
+        if auto_attach and isinstance(clock, SimulatedClock):
+            clock.on_advance(self._on_clock_advance)
+
+    # -- control ----------------------------------------------------------------
+
+    def pause(self) -> None:
+        """Stop applying steps (used by tests that want to observe lag)."""
+        self._enabled = False
+
+    def resume(self) -> None:
+        self._enabled = True
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    # -- running -----------------------------------------------------------------
+
+    def _on_clock_advance(self, now: float) -> None:
+        if self._enabled:
+            self.run_pending(now)
+
+    def run_pending(self, now: Optional[float] = None) -> List[DegradationStep]:
+        """Apply every step due at or before ``now`` (defaults to the clock)."""
+        if now is None:
+            now = self.clock.now()
+        self.stats.invocations += 1
+        applied = self.scheduler.run_due(now, self.applier, on_complete=self.on_complete)
+        if applied:
+            self.stats.batches += 1
+            self.stats.steps_applied += len(applied)
+        return applied
+
+    def next_due(self) -> Optional[float]:
+        return self.scheduler.peek_next_due()
+
+    def backlog(self, now: Optional[float] = None) -> int:
+        """Number of steps overdue at ``now`` (timeliness measure)."""
+        if now is None:
+            now = self.clock.now()
+        count = 0
+        next_due = self.scheduler.peek_next_due()
+        if next_due is None or next_due > now:
+            return 0
+        # peek_next_due only exposes the earliest step; count by draining a copy
+        # of the due set lazily through the scheduler's public API would apply
+        # them, so report a conservative indicator instead.
+        for _due, _seq, step in self.scheduler._heap:  # noqa: SLF001 - diagnostic only
+            registration = self.scheduler._registrations.get(step.record_id)  # noqa: SLF001
+            if registration is None:
+                continue
+            if registration.current_states.get(step.attribute) != step.from_state:
+                continue
+            if _due <= now:
+                count += 1
+        return count
+
+
+__all__ = ["DegradationDaemon", "DaemonStats"]

@@ -1,0 +1,660 @@
+"""The InstantDB engine facade.
+
+:class:`InstantDB` wires every substrate together — clock, storage, indexes,
+transactions, degradation scheduler/daemon, SQL front-end — behind the small
+public API the paper implies:
+
+* register generalization domains and life cycle policies;
+* ``CREATE TABLE`` with ``DEGRADABLE DOMAIN ... POLICY ...`` columns;
+* ``INSERT`` (always in the most accurate state);
+* ``DECLARE PURPOSE ... SET ACCURACY LEVEL ...`` and purpose-bound ``SELECT``;
+* advance (simulated) time, which fires the degradation daemon so that tuples
+  traverse their life cycle policy and eventually disappear.
+
+Example
+-------
+>>> from repro import InstantDB, AttributeLCP
+>>> from repro.core.domains import build_location_tree
+>>> db = InstantDB()
+>>> gt = db.register_domain(build_location_tree())
+>>> _ = db.register_policy(AttributeLCP(gt, transitions=["1 h", "1 day", "1 month", "3 months"],
+...                                     name="location_lcp"))
+>>> db.execute("CREATE TABLE person (id INT PRIMARY KEY, name TEXT, "
+...            "location TEXT DEGRADABLE DOMAIN location POLICY location_lcp)")
+>>> db.execute("INSERT INTO person VALUES (1, 'alice', '1 Main Street, Paris')")
+1
+>>> db.advance_time(hours=2)          # the address degrades to city level
+>>> db.execute("DECLARE PURPOSE stats SET ACCURACY LEVEL city FOR person.location")
+>>> db.execute("SELECT location FROM person", purpose="stats").rows
+[('Paris',)]
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.clock import Clock, SimulatedClock, make_clock
+from ..core.errors import (
+    CatalogError,
+    ConfigurationError,
+    DeadlockError,
+    ExecutionError,
+    PolicyError,
+    TransactionAborted,
+)
+from ..core.generalization import GeneralizationScheme
+from ..core.lcp import AttributeLCP, TupleLCP
+from ..core.policy import AccuracyRequirement, Purpose, TablePolicy
+from ..core.scheduler import DegradationScheduler, DegradationStep
+from ..core.schema import TableSchema
+from ..core.values import SUPPRESSED
+from ..index.gt_index import GTIndex
+from ..query import ast_nodes as ast
+from ..query.catalog import Catalog, IndexInfo
+from ..query.executor import Executor, QueryResult, ROW_KEY_FIELD
+from ..query.parser import parse, parse_script
+from ..query.planner import Planner
+from ..storage.buffer import BufferPool
+from ..storage.crypto import KeyStore
+from ..storage.degradable_store import TableStore
+from ..storage.pager import open_pager
+from ..storage.wal import LogRecordType, WriteAheadLog
+from ..txn.transaction import Transaction, TransactionManager
+from . import ddl
+from .daemon import DegradationDaemon
+
+#: Back-off applied when a degradation step hits a lock conflict.
+_CONFLICT_RETRY_SECONDS = 1.0
+
+
+@dataclass
+class EngineStats:
+    """Engine-level counters exposed to benchmarks and tests."""
+
+    statements_executed: int = 0
+    rows_inserted: int = 0
+    rows_deleted: int = 0
+    rows_updated: int = 0
+    rows_removed_by_policy: int = 0
+    degradation_steps_applied: int = 0
+    degradation_conflicts: int = 0
+    checkpoints: int = 0
+
+
+class InstantDB:
+    """A data-degradation-aware database engine (the paper's InstantDB)."""
+
+    def __init__(self, clock: Union[str, Clock] = "simulated",
+                 strategy: str = "rewrite",
+                 page_size: int = 4096,
+                 buffer_capacity: int = 256,
+                 data_dir: Optional[str] = None,
+                 deterministic_crypto: bool = True) -> None:
+        self.clock: Clock = make_clock(clock) if isinstance(clock, str) else clock
+        self.strategy = strategy
+        pager_path = None
+        wal_path = None
+        if data_dir is not None:
+            os.makedirs(data_dir, exist_ok=True)
+            pager_path = os.path.join(data_dir, "pages.db")
+            wal_path = os.path.join(data_dir, "wal.log")
+        self.pager = open_pager(pager_path, page_size=page_size)
+        self.buffer_pool = BufferPool(self.pager, capacity=buffer_capacity)
+        self.wal = WriteAheadLog(wal_path)
+        self.keystore = KeyStore(deterministic_seed=b"instantdb" if deterministic_crypto else None)
+        self.catalog = Catalog()
+        self.registry = self.catalog.registry
+        self.transactions = TransactionManager(self.wal)
+        self.scheduler = DegradationScheduler()
+        self.stores: Dict[str, TableStore] = {}
+        self._tuple_lcps: Dict[Tuple[str, int], TupleLCP] = {}
+        self.executor = Executor(self.catalog, self._store_for)
+        self.planner = Planner(self.catalog)
+        self.daemon = DegradationDaemon(
+            self.clock, self.scheduler, applier=self._apply_degradation_step,
+            on_complete=self._on_record_final,
+        )
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------ domains
+
+    def register_domain(self, scheme: GeneralizationScheme,
+                        name: Optional[str] = None) -> GeneralizationScheme:
+        """Register a generalization scheme under ``name`` (defaults to its own)."""
+        return self.registry.register_domain(scheme, name=name)
+
+    def register_policy(self, policy: Optional[AttributeLCP] = None, *,
+                        domain: Optional[str] = None,
+                        transitions: Optional[Sequence[Any]] = None,
+                        states: Optional[Sequence[int]] = None,
+                        name: Optional[str] = None) -> AttributeLCP:
+        """Register an attribute LCP, either prebuilt or described inline.
+
+        ``register_policy(domain="location", transitions=["1 h", "1 day"], states=[0, 1, 4])``
+        builds the policy over the registered domain.
+        """
+        if policy is None:
+            if domain is None or transitions is None:
+                raise ConfigurationError(
+                    "register_policy needs either a prebuilt AttributeLCP or "
+                    "domain= and transitions="
+                )
+            scheme = self.registry.domain(domain)
+            policy = AttributeLCP(scheme, states=states, transitions=transitions,
+                                  name=name or f"{domain}_lcp")
+        return self.registry.register_policy(policy, name=name)
+
+    def define_purpose(self, purpose: Purpose) -> Purpose:
+        """Register a purpose built through the Python API."""
+        return self.catalog.add_purpose(purpose)
+
+    def purpose(self, name: str) -> Purpose:
+        return self.catalog.purpose(name)
+
+    # ------------------------------------------------------------------ tables
+
+    def create_table(self, schema: TableSchema, remove_on_final: bool = True,
+                     selector_column: Optional[str] = None) -> TableStore:
+        """Create a table from a Python :class:`TableSchema`."""
+        policy = ddl.build_table_policy(schema, self.registry,
+                                        remove_on_final=remove_on_final)
+        if policy is not None and selector_column is not None:
+            policy.selector_column = selector_column.lower()
+        self.catalog.add_table(schema, policy)
+        store = TableStore(schema, self.buffer_pool, self.wal,
+                           keystore=self.keystore, strategy=self.strategy)
+        self.stores[schema.name] = store
+        return store
+
+    def table_store(self, name: str) -> TableStore:
+        return self._store_for(name)
+
+    def table_policy(self, name: str) -> Optional[TablePolicy]:
+        return self.catalog.table(name).policy
+
+    def register_user_policy(self, table: str, selector_value: Any,
+                             policies: Dict[str, AttributeLCP]) -> None:
+        """Per-tuple policy override (the paper's "paranoid user" extension)."""
+        policy = self.catalog.table(table).policy
+        if policy is None:
+            raise PolicyError(f"table {table!r} has no degradable columns")
+        policy.register_override(selector_value, policies)
+
+    def _store_for(self, table: str) -> TableStore:
+        try:
+            return self.stores[table.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {table!r}") from None
+
+    # ------------------------------------------------------------------ time
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    def advance_time(self, seconds: float = 0.0, **units: float) -> float:
+        """Advance the simulated clock; the degradation daemon runs automatically."""
+        if not isinstance(self.clock, SimulatedClock):
+            raise ConfigurationError("advance_time requires a simulated clock")
+        return self.clock.advance(seconds, **units)
+
+    def run_degradation(self) -> List[DegradationStep]:
+        """Explicitly run every due degradation step (wall-clock deployments)."""
+        return self.daemon.run_pending(self.clock.now())
+
+    def fire_event(self, event: str) -> List[DegradationStep]:
+        """Fire a named event releasing event-triggered transitions, then run them."""
+        self.scheduler.fire_event(event, self.clock.now())
+        return self.daemon.run_pending(self.clock.now())
+
+    # ------------------------------------------------------------------ transactions
+
+    def begin(self) -> Transaction:
+        """Start an explicit user transaction."""
+        return self.transactions.begin(now=self.clock.now())
+
+    def commit(self, txn: Transaction) -> None:
+        self.transactions.commit(txn, now=self.clock.now())
+
+    def rollback(self, txn: Transaction) -> None:
+        self.transactions.abort(txn, now=self.clock.now())
+
+    def _locked(self, txn: Transaction, table: str, exclusive: bool) -> None:
+        granted = (self.transactions.lock_exclusive(txn, table) if exclusive
+                   else self.transactions.lock_shared(txn, table))
+        if not granted:
+            self.transactions.abort(txn, now=self.clock.now(), reason="lock conflict")
+            raise TransactionAborted(
+                f"transaction {txn.txn_id} blocked on table {table!r} "
+                "(held by a concurrent transaction)"
+            )
+
+    # ------------------------------------------------------------------ SQL entry point
+
+    def execute(self, sql: str, purpose: Union[None, str, Purpose] = None,
+                txn: Optional[Transaction] = None) -> Any:
+        """Execute one SQL statement.
+
+        Returns a :class:`QueryResult` for SELECT/EXPLAIN, the number of
+        affected rows for DML, and ``None`` for DDL.
+        """
+        statement = parse(sql)
+        return self.execute_statement(statement, purpose=purpose, txn=txn)
+
+    def execute_script(self, sql: str, purpose: Union[None, str, Purpose] = None) -> List[Any]:
+        """Execute a semicolon separated list of statements."""
+        return [
+            self.execute_statement(statement, purpose=purpose)
+            for statement in parse_script(sql)
+        ]
+
+    def execute_statement(self, statement: ast.Statement,
+                          purpose: Union[None, str, Purpose] = None,
+                          txn: Optional[Transaction] = None) -> Any:
+        self.stats.statements_executed += 1
+        resolved = self._resolve_purpose(purpose)
+        if isinstance(statement, ast.Explain):
+            return self._execute_explain(statement, resolved)
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement, resolved, txn)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement, txn)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement, resolved, txn)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement, resolved, txn)
+        if isinstance(statement, ast.CreateTable):
+            schema = ddl.build_schema(statement, self.registry)
+            self.create_table(schema)
+            return None
+        if isinstance(statement, ast.CreateIndex):
+            self._execute_create_index(statement)
+            return None
+        if isinstance(statement, ast.DropTable):
+            self._execute_drop_table(statement)
+            return None
+        if isinstance(statement, ast.DeclarePurpose):
+            return self._execute_declare_purpose(statement)
+        raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+    def query(self, sql: str, purpose: Union[None, str, Purpose] = None) -> QueryResult:
+        """Convenience wrapper returning a :class:`QueryResult`."""
+        result = self.execute(sql, purpose=purpose)
+        if not isinstance(result, QueryResult):
+            raise ExecutionError("query() expects a SELECT statement")
+        return result
+
+    def _resolve_purpose(self, purpose: Union[None, str, Purpose]) -> Optional[Purpose]:
+        if purpose is None or isinstance(purpose, Purpose):
+            return purpose
+        return self.catalog.purpose(purpose)
+
+    # ------------------------------------------------------------------ SELECT / EXPLAIN
+
+    def _execute_select(self, statement: ast.Select, purpose: Optional[Purpose],
+                        txn: Optional[Transaction]) -> QueryResult:
+        own_txn = txn is None
+        active = txn or self.transactions.begin(now=self.clock.now())
+        try:
+            self._locked(active, statement.table, exclusive=False)
+            for clause in statement.joins:
+                self._locked(active, clause.table, exclusive=False)
+            result = self.executor.execute_select(statement, purpose)
+        except BaseException:
+            if own_txn and self.transactions.is_active(active.txn_id):
+                self.transactions.abort(active, now=self.clock.now())
+            raise
+        if own_txn:
+            self.transactions.commit(active, now=self.clock.now())
+        return result
+
+    def _execute_explain(self, statement: ast.Explain,
+                         purpose: Optional[Purpose]) -> QueryResult:
+        inner = statement.statement
+        if not isinstance(inner, ast.Select):
+            return QueryResult(columns=["plan"],
+                               rows=[(f"{type(inner).__name__} statement",)])
+        plan = self.planner.plan_select(inner, purpose)
+        lines = plan.describe().splitlines()
+        return QueryResult(columns=["plan"], rows=[(line,) for line in lines])
+
+    # ------------------------------------------------------------------ INSERT
+
+    def _execute_insert(self, statement: ast.Insert,
+                        txn: Optional[Transaction]) -> int:
+        info = self.catalog.table(statement.table)
+        count = 0
+        for row in statement.rows:
+            if statement.columns is not None:
+                if len(statement.columns) != len(row):
+                    raise ExecutionError(
+                        f"INSERT specifies {len(statement.columns)} columns but "
+                        f"{len(row)} values"
+                    )
+                mapping = {column.lower(): value for column, value in zip(statement.columns, row)}
+            else:
+                mapping = dict(zip(info.schema.column_names(), row))
+            self.insert_row(statement.table, mapping, txn=txn)
+            count += 1
+        return count
+
+    def insert_row(self, table: str, row: Any, txn: Optional[Transaction] = None) -> int:
+        """Insert one row (Python API); returns the logical row key."""
+        table = table.lower()
+        info = self.catalog.table(table)
+        store = self._store_for(table)
+        now = self.clock.now()
+        own_txn = txn is None
+        active = txn or self.transactions.begin(now=now)
+        try:
+            self._locked(active, table, exclusive=True)
+            row_key = store.insert(row, now, txn_id=active.txn_id)
+            stored = store.read(row_key)
+            self._index_insert(info, stored)
+            if info.policy is not None and info.policy.has_degradable_columns():
+                selector_value = None
+                if info.policy.selector_column is not None:
+                    selector_value = stored.values.get(info.policy.selector_column)
+                tuple_lcp = info.policy.tuple_lcp(selector_value)
+                self.scheduler.register((table, row_key), tuple_lcp, now)
+                self._tuple_lcps[(table, row_key)] = tuple_lcp
+            active.on_abort(lambda: self._undo_insert(table, row_key))
+        except BaseException:
+            if own_txn and self.transactions.is_active(active.txn_id):
+                self.transactions.abort(active, now=now)
+            raise
+        if own_txn:
+            self.transactions.commit(active, now=now)
+        self.stats.rows_inserted += 1
+        return row_key
+
+    def _undo_insert(self, table: str, row_key: int) -> None:
+        store = self._store_for(table)
+        if not store.exists(row_key):
+            return
+        info = self.catalog.table(table)
+        stored = store.read(row_key)
+        self._index_delete(info, stored)
+        self.scheduler.cancel((table, row_key))
+        self._tuple_lcps.pop((table, row_key), None)
+        store.remove(row_key, now=self.clock.now())
+
+    # ------------------------------------------------------------------ UPDATE / DELETE
+
+    def _execute_update(self, statement: ast.Update, purpose: Optional[Purpose],
+                        txn: Optional[Transaction]) -> int:
+        table = statement.table.lower()
+        info = self.catalog.table(table)
+        store = self._store_for(table)
+        now = self.clock.now()
+        own_txn = txn is None
+        active = txn or self.transactions.begin(now=now)
+        count = 0
+        try:
+            self._locked(active, table, exclusive=True)
+            for column, _value in statement.assignments:
+                if info.schema.column(column).degradable:
+                    raise PolicyError(
+                        f"column {table}.{column} is degradable: updates are not granted "
+                        "after the tuple creation has been committed"
+                    )
+            for stored in self.executor.matching_rows(table, statement.where, purpose):
+                for column, value in statement.assignments:
+                    old_value = stored.values[column]
+                    updated = store.update_stable(stored.row_key, column, value, now,
+                                                  txn_id=active.txn_id)
+                    self._index_update_column(info, column, old_value,
+                                              updated.values[column], stored, updated)
+                    stored = updated
+                count += 1
+        except BaseException:
+            if own_txn and self.transactions.is_active(active.txn_id):
+                self.transactions.abort(active, now=now)
+            raise
+        if own_txn:
+            self.transactions.commit(active, now=now)
+        self.stats.rows_updated += count
+        return count
+
+    def _execute_delete(self, statement: ast.Delete, purpose: Optional[Purpose],
+                        txn: Optional[Transaction]) -> int:
+        table = statement.table.lower()
+        now = self.clock.now()
+        own_txn = txn is None
+        active = txn or self.transactions.begin(now=now)
+        count = 0
+        try:
+            self._locked(active, table, exclusive=True)
+            for stored in self.executor.matching_rows(table, statement.where, purpose):
+                self._delete_row(table, stored.row_key, txn_id=active.txn_id)
+                count += 1
+        except BaseException:
+            if own_txn and self.transactions.is_active(active.txn_id):
+                self.transactions.abort(active, now=now)
+            raise
+        if own_txn:
+            self.transactions.commit(active, now=now)
+        self.stats.rows_deleted += count
+        return count
+
+    def _delete_row(self, table: str, row_key: int, txn_id: int = 0) -> None:
+        info = self.catalog.table(table)
+        store = self._store_for(table)
+        stored = store.read(row_key)
+        self._index_delete(info, stored)
+        self.scheduler.cancel((table, row_key))
+        self._tuple_lcps.pop((table, row_key), None)
+        store.delete(row_key, now=self.clock.now(), txn_id=txn_id)
+
+    # ------------------------------------------------------------------ DDL helpers
+
+    def _execute_create_index(self, statement: ast.CreateIndex) -> None:
+        table = statement.table.lower()
+        info = self.catalog.table(table)
+        index = ddl.build_index(statement, info.schema, self.registry)
+        index_info = IndexInfo(name=statement.name, table=table,
+                               column=statement.column.lower(),
+                               method=statement.method.lower(), index=index)
+        self.catalog.add_index(index_info)
+        store = self._store_for(table)
+        column = statement.column.lower()
+        for stored in store.scan():
+            value = stored.values[column]
+            if isinstance(index, GTIndex):
+                index.insert_at(value, stored.levels.get(column, 0), stored.row_key)
+            else:
+                index.insert(value, stored.row_key)
+
+    def create_index(self, name: str, table: str, column: str,
+                     method: str = "btree") -> None:
+        """Python API equivalent of ``CREATE INDEX``."""
+        self._execute_create_index(ast.CreateIndex(name=name, table=table,
+                                                   column=column, method=method))
+
+    def _execute_drop_table(self, statement: ast.DropTable) -> None:
+        table = statement.table.lower()
+        self.catalog.drop_table(table)
+        store = self.stores.pop(table, None)
+        if store is not None:
+            for row_key in store.row_keys():
+                self.scheduler.cancel((table, row_key))
+                self._tuple_lcps.pop((table, row_key), None)
+                store.remove(row_key, now=self.clock.now())
+
+    def _execute_declare_purpose(self, statement: ast.DeclarePurpose) -> Purpose:
+        purpose = Purpose(statement.name)
+        for clause in statement.clauses:
+            purpose.add_requirement(AccuracyRequirement(
+                table=clause.table, column=clause.column, level=clause.level
+            ))
+        return self.catalog.add_purpose(purpose)
+
+    # ------------------------------------------------------------------ index maintenance
+
+    def _index_insert(self, info, stored) -> None:
+        for index_info in info.indexes.values():
+            value = stored.values[index_info.column]
+            if isinstance(index_info.index, GTIndex):
+                index_info.index.insert_at(value, stored.levels.get(index_info.column, 0),
+                                           stored.row_key)
+            else:
+                index_info.index.insert(value, stored.row_key)
+
+    def _index_delete(self, info, stored) -> None:
+        for index_info in info.indexes.values():
+            value = stored.values[index_info.column]
+            if isinstance(index_info.index, GTIndex):
+                index_info.index.delete_at(value, stored.levels.get(index_info.column, 0),
+                                           stored.row_key)
+            else:
+                index_info.index.delete(value, stored.row_key)
+
+    def _index_update_column(self, info, column: str, old_value: Any, new_value: Any,
+                             old_row, new_row) -> None:
+        for index_info in info.indexes.values():
+            if index_info.column != column:
+                continue
+            if isinstance(index_info.index, GTIndex):
+                index_info.index.degrade_entry(
+                    old_value, old_row.levels.get(column, 0),
+                    new_value, new_row.levels.get(column, 0), old_row.row_key,
+                )
+            else:
+                index_info.index.update(old_value, new_value, old_row.row_key)
+
+    # ------------------------------------------------------------------ degradation machinery
+
+    def _apply_degradation_step(self, step: DegradationStep) -> bool:
+        table, row_key = step.record_id
+        store = self._store_for(table)
+        if not store.exists(row_key):
+            self.scheduler.cancel(step.record_id)
+            return False
+        tuple_lcp = self._tuple_lcps.get((table, row_key))
+        if tuple_lcp is None:
+            self.scheduler.cancel(step.record_id)
+            return False
+        lcp = tuple_lcp.attributes[step.attribute]
+        from_level = lcp.state_level(step.from_state)
+        to_level = lcp.state_level(step.to_state)
+        now = self.clock.now()
+        txn = self.transactions.begin(system=True, now=now)
+        try:
+            granted = self.transactions.lock_exclusive(txn, table)
+        except DeadlockError:
+            granted = False
+        if not granted:
+            self.transactions.abort(txn, now=now, reason="degradation lock conflict")
+            self.transactions.note_reader_degrader_conflict()
+            self.stats.degradation_conflicts += 1
+            self.scheduler.defer(step, now + _CONFLICT_RETRY_SECONDS)
+            return False
+        try:
+            info = self.catalog.table(table)
+            old_row = store.read(row_key)
+            old_value = old_row.values[step.attribute]
+            new_row = store.degrade(row_key, step.attribute, lcp.scheme, to_level,
+                                    now, txn_id=txn.txn_id)
+            new_value = new_row.values[step.attribute]
+            for index_info in info.indexes.values():
+                if index_info.column != step.attribute:
+                    continue
+                if isinstance(index_info.index, GTIndex):
+                    index_info.index.degrade_entry(old_value, from_level,
+                                                   new_value, to_level, row_key)
+                else:
+                    index_info.index.update(old_value, new_value, row_key)
+        except BaseException:
+            self.transactions.abort(txn, now=now)
+            raise
+        self.transactions.commit(txn, now=now)
+        self.stats.degradation_steps_applied += 1
+        return True
+
+    def _on_record_final(self, record_id: Any) -> None:
+        table, row_key = record_id
+        info = self.catalog.table(table)
+        tuple_lcp = self._tuple_lcps.pop((table, row_key), None)
+        if info.policy is None or not info.policy.remove_on_final:
+            return
+        # Physical removal only closes a life cycle that actually ends in full
+        # suppression; a partial policy (final state = some intermediate level)
+        # keeps the degraded tuple in the database indefinitely.
+        if tuple_lcp is not None and not all(
+                lcp.fully_suppresses for lcp in tuple_lcp.attributes.values()):
+            return
+        store = self._store_for(table)
+        if not store.exists(row_key):
+            return
+        stored = store.read(row_key)
+        self._index_delete(info, stored)
+        store.remove(row_key, now=self.clock.now())
+        self.stats.rows_removed_by_policy += 1
+
+    # ------------------------------------------------------------------ maintenance
+
+    def checkpoint(self, truncate_wal: bool = False) -> None:
+        """Flush every table and the WAL; optionally truncate the log prefix."""
+        for store in self.stores.values():
+            store.flush()
+        record = self.wal.append(LogRecordType.CHECKPOINT, txn_id=0,
+                                 timestamp=self.clock.now())
+        self.wal.flush()
+        if truncate_wal:
+            self.wal.truncate_until(record.lsn - 1)
+        self.stats.checkpoints += 1
+
+    def close(self) -> None:
+        self.checkpoint()
+        self.wal.close()
+        self.pager.close()
+
+    # ------------------------------------------------------------------ introspection
+
+    def tables(self) -> List[str]:
+        return [info.name for info in self.catalog.tables()]
+
+    def row_count(self, table: str) -> int:
+        return self._store_for(table).row_count
+
+    def visible_rows(self, table: str,
+                     purpose: Union[None, str, Purpose] = None) -> List[Dict[str, Any]]:
+        """``SELECT *`` convenience returning dictionaries."""
+        result = self.execute(f"SELECT * FROM {table}", purpose=purpose)
+        return result.to_dicts()
+
+    def level_histogram(self, table: str, column: str) -> Dict[int, int]:
+        """Number of live rows per stored accuracy level of ``column``."""
+        store = self._store_for(table)
+        histogram: Dict[int, int] = {}
+        for stored in store.scan():
+            level = stored.levels.get(column.lower(), 0)
+            histogram[level] = histogram.get(level, 0) + 1
+        return histogram
+
+    def forensic_image(self) -> bytes:
+        """Every byte the engine holds: pages, WAL and index keys."""
+        parts = [store.raw_image() for store in self.stores.values()]
+        for info in self.catalog.tables():
+            for index_info in info.indexes.values():
+                parts.append(index_info.index.raw_image())
+        return b"\x00".join(parts)
+
+    def describe(self) -> str:
+        lines = [f"InstantDB (strategy={self.strategy}, clock={type(self.clock).__name__})"]
+        for info in self.catalog.tables():
+            lines.append(info.schema.describe())
+            if info.policy is not None:
+                lines.append(info.policy.describe())
+            for index_info in info.indexes.values():
+                lines.append(
+                    f"  index {index_info.name} on {info.name}({index_info.column}) "
+                    f"using {index_info.method}"
+                )
+        for purpose in self.catalog.purposes():
+            lines.append(purpose.describe())
+        return "\n".join(lines)
+
+
+__all__ = ["InstantDB", "EngineStats"]

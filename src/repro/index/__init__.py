@@ -1,0 +1,9 @@
+"""Index substrate: B+-tree, hash, bitmap and degradation-aware GT indexes."""
+
+from .base import Index, IndexStats
+from .bitmap import BitmapIndex
+from .btree import BPlusTreeIndex
+from .gt_index import GTIndex
+from .hashindex import HashIndex
+
+__all__ = ["Index", "IndexStats", "BPlusTreeIndex", "HashIndex", "BitmapIndex", "GTIndex"]

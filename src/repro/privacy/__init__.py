@@ -1,0 +1,35 @@
+"""Privacy analysis: exposure metrics, attacker models, forensic scanning."""
+
+from .attack import (
+    AttackOutcome,
+    AttackSweepPoint,
+    capture_fraction_analytic,
+    cumulative_detection,
+    simulate_periodic_attack,
+    simulate_snapshot_attack,
+    snapshots_needed,
+    sweep_attack_periods,
+    tuples_accurate_at,
+)
+from .exposure import (
+    ExposureSnapshot,
+    ExposureTimeline,
+    accurate_lifetime_of_policy,
+    engine_snapshot,
+    exposure_volume_analytic,
+    level_exposure_profile,
+    retention_vs_degradation_ratio,
+    snapshot_from_histogram,
+    steady_state_exposure,
+)
+from .forensic import ForensicFinding, ForensicReport, scan_channels, scan_engine, scan_image
+
+__all__ = [
+    "AttackOutcome", "AttackSweepPoint", "capture_fraction_analytic",
+    "cumulative_detection", "simulate_periodic_attack", "simulate_snapshot_attack",
+    "snapshots_needed", "sweep_attack_periods", "tuples_accurate_at",
+    "ExposureSnapshot", "ExposureTimeline", "accurate_lifetime_of_policy",
+    "engine_snapshot", "exposure_volume_analytic", "level_exposure_profile",
+    "retention_vs_degradation_ratio", "snapshot_from_histogram", "steady_state_exposure",
+    "ForensicFinding", "ForensicReport", "scan_channels", "scan_engine", "scan_image",
+]

@@ -1,0 +1,17 @@
+"""Query processor: SQL front-end, catalog, planner and degradation-aware executor."""
+
+from . import ast_nodes
+from .catalog import Catalog, IndexInfo, TableInfo
+from .executor import Executor, ExecutorStats, QueryResult, ROW_KEY_FIELD
+from .parser import parse, parse_script
+from .planner import AccessPath, Planner, SelectPlan, TableScanPlan
+from .tokens import Token, TokenType, tokenize
+
+__all__ = [
+    "ast_nodes",
+    "Catalog", "TableInfo", "IndexInfo",
+    "Executor", "ExecutorStats", "QueryResult", "ROW_KEY_FIELD",
+    "parse", "parse_script",
+    "Planner", "SelectPlan", "TableScanPlan", "AccessPath",
+    "Token", "TokenType", "tokenize",
+]

@@ -1,0 +1,242 @@
+"""Logical planning: accuracy binding and access-path selection.
+
+Planning a ``SELECT`` involves two degradation-specific steps on top of the
+usual access-path choice:
+
+* **accuracy binding** — for every degradable column of every table involved,
+  determine the accuracy level demanded by the query's purpose (level 0, the
+  most accurate, when the purpose does not mention the column);
+* **access-path selection** — equality predicates on stable columns can use
+  hash/B+-tree/bitmap indexes as usual; equality predicates on *degradable*
+  columns can use the degradation-aware :class:`~repro.index.gt_index.GTIndex`
+  probed at the demanded accuracy level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import BindingError
+from ..core.policy import Purpose
+from . import ast_nodes as ast
+from .catalog import Catalog, IndexInfo
+
+
+@dataclass
+class AccessPath:
+    """How the executor obtains candidate rows of one table."""
+
+    kind: str                       # "seq", "index_eq", "index_range", "gt_level"
+    column: Optional[str] = None
+    index: Optional[IndexInfo] = None
+    key: Any = None
+    low: Any = None
+    high: Any = None
+    include_low: bool = True
+    include_high: bool = True
+    level: int = 0
+
+    def describe(self) -> str:
+        if self.kind == "seq":
+            return "SeqScan"
+        if self.kind == "index_eq":
+            return f"IndexScan({self.index.name} {self.column}={self.key!r})"
+        if self.kind == "index_range":
+            return (f"IndexRangeScan({self.index.name} {self.column} in "
+                    f"[{self.low!r}, {self.high!r}])")
+        if self.kind == "gt_level":
+            return (f"GTIndexScan({self.index.name} {self.column}={self.key!r} "
+                    f"@level {self.level})")
+        return self.kind
+
+
+@dataclass
+class TableScanPlan:
+    """Plan fragment producing the visible rows of one table."""
+
+    table: str
+    alias: str
+    access: AccessPath
+    demanded_levels: Dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        levels = ", ".join(f"{col}@{lvl}" for col, lvl in sorted(self.demanded_levels.items()))
+        accuracy = f" accuracy[{levels}]" if levels else ""
+        return f"{self.access.describe()} on {self.table} as {self.alias}{accuracy}"
+
+
+@dataclass
+class SelectPlan:
+    """Complete plan of a SELECT statement."""
+
+    statement: ast.Select
+    base: TableScanPlan
+    joins: List[Tuple[ast.JoinClause, TableScanPlan]] = field(default_factory=list)
+    purpose: Optional[Purpose] = None
+
+    def describe(self) -> str:
+        lines = [f"Select from {self.base.describe()}"]
+        for clause, scan in self.joins:
+            lines.append(
+                f"  {clause.kind} join {scan.describe()} on "
+                f"{clause.left.qualified} = {clause.right.qualified}"
+            )
+        if self.statement.where is not None:
+            lines.append("  filter: <predicate>")
+        if self.statement.is_aggregate:
+            lines.append("  aggregate")
+        if self.statement.order_by:
+            lines.append("  sort")
+        if self.statement.limit is not None:
+            lines.append(f"  limit {self.statement.limit}")
+        if self.purpose is not None:
+            lines.append(f"  purpose: {self.purpose.name}")
+        return "\n".join(lines)
+
+
+class Planner:
+    """Builds :class:`SelectPlan` objects from parsed statements."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # -- public entry points ----------------------------------------------------
+
+    def plan_select(self, statement: ast.Select,
+                    purpose: Optional[Purpose] = None) -> SelectPlan:
+        base = self._plan_table(statement.table, statement.table_alias,
+                                statement.where, purpose)
+        joins: List[Tuple[ast.JoinClause, TableScanPlan]] = []
+        for clause in statement.joins:
+            scan = self._plan_table(clause.table, clause.alias, None, purpose)
+            joins.append((clause, scan))
+        return SelectPlan(statement=statement, base=base, joins=joins, purpose=purpose)
+
+    def demanded_levels_for(self, table: str,
+                            purpose: Optional[Purpose]) -> Dict[str, Optional[int]]:
+        """Per degradable column accuracy levels demanded by ``purpose``.
+
+        A ``None`` level means the column is unconstrained: it is observed at
+        whatever accuracy its life cycle policy left behind (see
+        :meth:`repro.query.catalog.Catalog.demanded_level`).
+        """
+        info = self.catalog.table(table)
+        levels: Dict[str, int] = {}
+        for column in info.schema.degradable_columns():
+            levels[column.name] = self.catalog.demanded_level(purpose, table, column.name)
+        return levels
+
+    # -- internals -----------------------------------------------------------------
+
+    def _plan_table(self, table: str, alias: Optional[str],
+                    where: Optional[ast.Expression],
+                    purpose: Optional[Purpose]) -> TableScanPlan:
+        info = self.catalog.table(table)
+        demanded = self.demanded_levels_for(table, purpose)
+        access = self._choose_access(info.name, alias or info.name, where, demanded)
+        return TableScanPlan(table=info.name, alias=(alias or info.name).lower(),
+                             access=access, demanded_levels=demanded)
+
+    def _choose_access(self, table: str, alias: str,
+                       where: Optional[ast.Expression],
+                       demanded: Dict[str, int]) -> AccessPath:
+        if where is None:
+            return AccessPath(kind="seq")
+        info = self.catalog.table(table)
+        conjuncts = _flatten_and(where)
+        # First preference: equality on an indexed column.
+        for conjunct in conjuncts:
+            match = _as_column_literal(conjunct, table, alias)
+            if match is None:
+                continue
+            column, operator, value = match
+            if not info.schema.has_column(column):
+                continue
+            column_def = info.schema.column(column)
+            for index_info in info.indexes_on(column):
+                if column_def.degradable and index_info.method == "gt" and operator == "=":
+                    level = demanded.get(column, 0)
+                    if level is None:
+                        # Unconstrained accuracy: the stored level varies per
+                        # row, so the GT index cannot be probed at one level.
+                        continue
+                    return AccessPath(kind="gt_level", column=column, index=index_info,
+                                      key=value, level=level)
+                if not column_def.degradable and operator == "=" and \
+                        index_info.method in ("btree", "hash", "bitmap"):
+                    return AccessPath(kind="index_eq", column=column,
+                                      index=index_info, key=value)
+        # Second preference: range on a B+-tree indexed stable column.
+        ranges: Dict[str, AccessPath] = {}
+        for conjunct in conjuncts:
+            match = _as_column_literal(conjunct, table, alias)
+            if match is None:
+                continue
+            column, operator, value = match
+            if not info.schema.has_column(column):
+                continue
+            column_def = info.schema.column(column)
+            if column_def.degradable:
+                continue
+            btree_indexes = [
+                index_info for index_info in info.indexes_on(column)
+                if index_info.method == "btree"
+            ]
+            if not btree_indexes:
+                continue
+            path = ranges.setdefault(
+                column, AccessPath(kind="index_range", column=column,
+                                   index=btree_indexes[0])
+            )
+            if operator in (">", ">="):
+                path.low = value
+                path.include_low = operator == ">="
+            elif operator in ("<", "<="):
+                path.high = value
+                path.include_high = operator == "<="
+            elif operator == "between":
+                path.low, path.high = value
+                path.include_low = path.include_high = True
+        for path in ranges.values():
+            if path.low is not None or path.high is not None:
+                return path
+        return AccessPath(kind="seq")
+
+
+def _flatten_and(expression: ast.Expression) -> List[ast.Expression]:
+    if isinstance(expression, ast.BooleanOp) and expression.operator == "AND":
+        result: List[ast.Expression] = []
+        for operand in expression.operands:
+            result.extend(_flatten_and(operand))
+        return result
+    return [expression]
+
+
+def _as_column_literal(expression: ast.Expression, table: str,
+                       alias: str) -> Optional[Tuple[str, str, Any]]:
+    """Recognize ``column <op> literal`` conjuncts bound to ``table``/``alias``."""
+    def column_matches(ref: ast.ColumnRef) -> bool:
+        return ref.table is None or ref.table in (table.lower(), alias.lower())
+
+    if isinstance(expression, ast.Comparison):
+        left, right = expression.left, expression.right
+        if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal) \
+                and column_matches(left):
+            return left.column, expression.operator, right.value
+        if isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal) \
+                and column_matches(right):
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+            operator = flipped.get(expression.operator, expression.operator)
+            return right.column, operator, left.value
+    if isinstance(expression, ast.Between) and not expression.negated:
+        if isinstance(expression.operand, ast.ColumnRef) and \
+                isinstance(expression.low, ast.Literal) and \
+                isinstance(expression.high, ast.Literal) and \
+                column_matches(expression.operand):
+            return expression.operand.column, "between", \
+                (expression.low.value, expression.high.value)
+    return None
+
+
+__all__ = ["Planner", "SelectPlan", "TableScanPlan", "AccessPath"]

@@ -1,0 +1,21 @@
+"""Storage substrate: pages, heaps, buffer pool, WAL, crypto-erasure, table stores."""
+
+from .buffer import BufferPool, BufferStats
+from .crypto import KeyStore, KeyStoreStats
+from .degradable_store import STRATEGIES, StoredRow, TableStore, TableStoreStats
+from .heap import HeapFile, RecordId
+from .page import DEFAULT_PAGE_SIZE, SlottedPage
+from .pager import FilePager, MemoryPager, Pager, open_pager
+from .serialization import decode_record, decode_value, encode_record, encode_value
+from .wal import LogRecord, LogRecordType, WALStats, WriteAheadLog
+
+__all__ = [
+    "BufferPool", "BufferStats",
+    "KeyStore", "KeyStoreStats",
+    "TableStore", "StoredRow", "TableStoreStats", "STRATEGIES",
+    "HeapFile", "RecordId",
+    "SlottedPage", "DEFAULT_PAGE_SIZE",
+    "Pager", "MemoryPager", "FilePager", "open_pager",
+    "encode_value", "decode_value", "encode_record", "decode_record",
+    "WriteAheadLog", "LogRecord", "LogRecordType", "WALStats",
+]

@@ -1,0 +1,362 @@
+"""Degradation-aware table storage.
+
+:class:`TableStore` combines the heap file, the write-ahead log and (optionally)
+the cryptographic key store into the storage manager of one table.  It is the
+layer that makes a degradation step *effective*: after
+:meth:`TableStore.degrade` returns, the accurate value is gone from the data
+page (physically overwritten or crypto-erased), the log holds no accurate
+image of it, and readers observe only the degraded value.
+
+Each degradable attribute of a stored row carries its current **accuracy
+level** (0 = collection accuracy, ``scheme.max_level`` = suppressed); the
+degradation engine drives levels forward according to the life cycle policy,
+while the query layer compares stored levels against the accuracy demanded by
+the query's purpose.
+
+Two non-recoverability strategies are supported and benchmarked against each
+other (experiment C2):
+
+* ``"rewrite"`` — the record is rewritten in place with the degraded value and
+  the page's secure reclamation zeroes the stale bytes;
+* ``"crypto"`` — degradable values are stored encrypted under a per
+  ``(row, column, level)`` key; a degradation step re-encrypts the degraded
+  value under a fresh key and destroys the old one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.errors import (
+    KeyDestroyedError,
+    PolicyError,
+    RecordNotFoundError,
+    StorageError,
+)
+from ..core.generalization import GeneralizationScheme
+from ..core.schema import TableSchema
+from ..core.values import NULL, REMOVED, SUPPRESSED
+from .buffer import BufferPool
+from .crypto import KeyStore
+from .heap import HeapFile, RecordId
+from .serialization import decode_record, decode_value, encode_record, encode_value
+from .wal import LogRecordType, WriteAheadLog
+
+#: Strategies for making degradation non-recoverable.
+STRATEGIES = ("rewrite", "crypto")
+
+
+@dataclass
+class StoredRow:
+    """A materialized row as seen by the execution layer (plaintext values)."""
+
+    row_key: int
+    values: Dict[str, Any]
+    levels: Dict[str, int]
+    inserted_at: float
+
+    def value(self, column: str) -> Any:
+        return self.values[column.lower()]
+
+    def level(self, column: str) -> int:
+        return self.levels[column.lower()]
+
+
+@dataclass
+class TableStoreStats:
+    inserts: int = 0
+    reads: int = 0
+    degrade_steps: int = 0
+    removals: int = 0
+    deletes: int = 0
+    stable_updates: int = 0
+    relocations: int = 0
+
+
+class TableStore:
+    """Storage manager of one table with degradable attributes."""
+
+    def __init__(self, schema: TableSchema, buffer_pool: BufferPool,
+                 wal: WriteAheadLog, keystore: Optional[KeyStore] = None,
+                 strategy: str = "rewrite") -> None:
+        if strategy not in STRATEGIES:
+            raise StorageError(f"unknown non-recoverability strategy {strategy!r}")
+        if strategy == "crypto" and keystore is None:
+            keystore = KeyStore()
+        self.schema = schema
+        self.strategy = strategy
+        self.buffer_pool = buffer_pool
+        self.wal = wal
+        self.keystore = keystore
+        self.heap = HeapFile(buffer_pool, name=schema.name)
+        self.stats = TableStoreStats()
+        self._degradable = [column.name for column in schema.degradable_columns()]
+        self._locations: Dict[int, RecordId] = {}
+        self._next_row_key = 1
+
+    # -- encoding helpers -----------------------------------------------------
+
+    def _encode_row(self, row_key: int, inserted_at: float,
+                    levels: Dict[str, int], values: Dict[str, Any]) -> bytes:
+        flat: List[Any] = [row_key, float(inserted_at)]
+        for column in self._degradable:
+            flat.append(int(levels[column]))
+        for column in self.schema.columns:
+            value = values[column.name]
+            if column.degradable and self.strategy == "crypto" and not self._is_sentinel(value):
+                level = levels[column.name]
+                key_id = (self.schema.name, row_key, column.name, level)
+                value = self.keystore.encrypt(key_id, encode_value(value))
+            flat.append(value)
+        return encode_record(flat)
+
+    def _decode_row(self, payload: bytes) -> StoredRow:
+        flat = decode_record(payload)
+        expected = 2 + len(self._degradable) + len(self.schema.columns)
+        if len(flat) != expected:
+            raise StorageError(
+                f"table {self.schema.name!r}: malformed record with {len(flat)} fields "
+                f"(expected {expected})"
+            )
+        row_key = int(flat[0])
+        inserted_at = float(flat[1])
+        levels = {
+            column: int(flat[2 + index]) for index, column in enumerate(self._degradable)
+        }
+        values: Dict[str, Any] = {}
+        offset = 2 + len(self._degradable)
+        for index, column in enumerate(self.schema.columns):
+            value = flat[offset + index]
+            if (column.degradable and self.strategy == "crypto"
+                    and isinstance(value, (bytes, bytearray))):
+                key_id = (self.schema.name, row_key, column.name, levels[column.name])
+                try:
+                    plain = self.keystore.decrypt(key_id, bytes(value))
+                except KeyDestroyedError:
+                    # Fail safe: a destroyed key means the value is, by design,
+                    # unrecoverable — readers see it as suppressed.
+                    values[column.name] = SUPPRESSED
+                    continue
+                decoded, _ = decode_value(plain, 0)
+                values[column.name] = decoded
+            else:
+                values[column.name] = value
+        return StoredRow(row_key=row_key, values=values, levels=levels,
+                         inserted_at=inserted_at)
+
+    @staticmethod
+    def _is_sentinel(value: Any) -> bool:
+        return value is SUPPRESSED or value is REMOVED or value is NULL or value is None
+
+    # -- basic operations ----------------------------------------------------
+
+    def insert(self, row: Any, now: float, txn_id: int = 0) -> int:
+        """Insert a row (most accurate state) and return its logical row key."""
+        values_tuple = self.schema.coerce_row(row)
+        values = self.schema.row_dict(values_tuple)
+        levels = {column: 0 for column in self._degradable}
+        row_key = self._next_row_key
+        self._next_row_key += 1
+        payload = self._encode_row(row_key, now, levels, values)
+        record_id = self.heap.insert(payload)
+        self._locations[row_key] = record_id
+        self.wal.append(
+            LogRecordType.INSERT, txn_id, table=self.schema.name, row_key=row_key,
+            after=payload, timestamp=now,
+        )
+        self.stats.inserts += 1
+        return row_key
+
+    def exists(self, row_key: int) -> bool:
+        return row_key in self._locations
+
+    def read(self, row_key: int) -> StoredRow:
+        record_id = self._location(row_key)
+        payload = self.heap.read(record_id)
+        self.stats.reads += 1
+        return self._decode_row(payload)
+
+    def scan(self) -> Iterator[StoredRow]:
+        for row_key in list(self._locations):
+            try:
+                yield self.read(row_key)
+            except RecordNotFoundError:  # pragma: no cover - defensive
+                continue
+
+    def fetch(self, row_keys: Iterator[int]) -> Iterator[StoredRow]:
+        """Materialize the rows with the given keys, skipping vanished ones."""
+        for row_key in row_keys:
+            if row_key in self._locations:
+                yield self.read(row_key)
+
+    def row_keys(self) -> List[int]:
+        return list(self._locations)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._locations)
+
+    def _location(self, row_key: int) -> RecordId:
+        try:
+            return self._locations[row_key]
+        except KeyError:
+            raise RecordNotFoundError(
+                f"table {self.schema.name!r}: no row with key {row_key}"
+            ) from None
+
+    def _rewrite(self, row_key: int, payload: bytes) -> None:
+        record_id = self._location(row_key)
+        new_id = self.heap.update(record_id, payload)
+        if new_id != record_id:
+            self._locations[row_key] = new_id
+            self.stats.relocations += 1
+
+    # -- degradation ------------------------------------------------------------
+
+    def degrade(self, row_key: int, column: str, scheme: GeneralizationScheme,
+                to_level: int, now: float, txn_id: int = 0) -> StoredRow:
+        """Apply one degradation step to ``column`` of ``row_key``.
+
+        The degraded row (as now visible to readers) is returned.  The WAL
+        record carries only the degraded after-image, never the accurate
+        before-image.
+        """
+        column = column.lower()
+        if column not in self._degradable:
+            raise PolicyError(
+                f"table {self.schema.name!r}: column {column!r} is not degradable"
+            )
+        row = self.read(row_key)
+        from_level = row.levels[column]
+        if to_level < from_level:
+            raise PolicyError("degradation is irreversible: cannot decrease the level")
+        if to_level == from_level:
+            return row
+        old_value = row.values[column]
+        if self._is_sentinel(old_value):
+            # Missing or already-suppressed values carry no information to
+            # degrade; only the stored accuracy level advances.
+            new_value = old_value
+        else:
+            new_value = scheme.generalize(old_value, to_level, from_level=from_level)
+        new_levels = dict(row.levels)
+        new_levels[column] = to_level
+        new_values = dict(row.values)
+        new_values[column] = new_value
+        payload = self._encode_row(row_key, row.inserted_at, new_levels, new_values)
+        self._rewrite(row_key, payload)
+        if self.strategy == "crypto":
+            # Destroy every key of more accurate levels for this column: the
+            # accurate and intermediate ciphertexts become unreadable everywhere.
+            for level in range(from_level, to_level):
+                self.keystore.destroy_key((self.schema.name, row_key, column, level))
+        self.wal.append(
+            LogRecordType.DEGRADE, txn_id, table=self.schema.name, row_key=row_key,
+            attribute=column,
+            after=encode_record([to_level]),
+            timestamp=now,
+        )
+        # A degradation step is only irreversible once it reached stable storage.
+        self.buffer_pool.flush_page(self._locations[row_key].page_id)
+        if self.strategy == "rewrite":
+            # The accurate value also survives in the row images logged by the
+            # INSERT (and stable UPDATEs); physically scrub them now that the
+            # degraded page is durable.  The crypto strategy does not need this:
+            # logged images only ever contain ciphertext whose key is destroyed.
+            self.wal.scrub_record(self.schema.name, row_key, now=now)
+        self.stats.degrade_steps += 1
+        return self._decode_row(payload)
+
+    def remove(self, row_key: int, now: float, txn_id: int = 0,
+               scrub_log: bool = True) -> None:
+        """Final removal at the end of the life cycle (or explicit delete).
+
+        Physically deletes the record (secure page reclamation), destroys every
+        crypto key of the row and scrubs its images from the WAL.
+        """
+        record_id = self._location(row_key)
+        self.heap.delete(record_id)
+        del self._locations[row_key]
+        if self.keystore is not None:
+            self.keystore.destroy_matching((self.schema.name, row_key))
+        self.wal.append(
+            LogRecordType.REMOVE, txn_id, table=self.schema.name, row_key=row_key,
+            timestamp=now,
+        )
+        if scrub_log:
+            self.wal.scrub_record(self.schema.name, row_key, now=now)
+        self.buffer_pool.flush_page(record_id.page_id)
+        self.stats.removals += 1
+
+    def delete(self, row_key: int, now: float, txn_id: int = 0) -> None:
+        """Explicit user delete — same non-recoverability guarantees as removal."""
+        self.remove(row_key, now, txn_id=txn_id, scrub_log=True)
+        self.stats.deletes += 1
+        self.stats.removals -= 1
+
+    def update_stable(self, row_key: int, column: str, value: Any,
+                      now: float, txn_id: int = 0) -> StoredRow:
+        """Update a stable attribute (degradable attributes are immutable)."""
+        column = column.lower()
+        column_def = self.schema.column(column)
+        if column_def.degradable:
+            raise PolicyError(
+                f"table {self.schema.name!r}: degradable column {column!r} cannot be "
+                "updated after the tuple creation has been committed"
+            )
+        row = self.read(row_key)
+        before_payload = self._encode_row(row.row_key, row.inserted_at, row.levels, row.values)
+        new_values = dict(row.values)
+        new_values[column] = column_def.coerce(value)
+        payload = self._encode_row(row_key, row.inserted_at, row.levels, new_values)
+        self._rewrite(row_key, payload)
+        self.wal.append(
+            LogRecordType.UPDATE, txn_id, table=self.schema.name, row_key=row_key,
+            attribute=column, before=before_payload, after=payload, timestamp=now,
+        )
+        self.stats.stable_updates += 1
+        return self._decode_row(payload)
+
+    # -- maintenance / recovery / forensics -----------------------------------------
+
+    def flush(self) -> None:
+        self.heap.flush()
+        self.wal.flush()
+
+    def compact(self) -> None:
+        self.heap.compact()
+
+    def raw_image(self) -> bytes:
+        """Raw bytes of the heap pages and the log (forensic scanning input)."""
+        return self.heap.raw_image() + self.wal.raw_image()
+
+    def restore_row(self, payload: bytes) -> int:
+        """Write a logged row image back into the store (recovery redo/undo).
+
+        The payload must have been produced by :meth:`_encode_row` (it is the
+        before/after image carried by INSERT/UPDATE log records).  Returns the
+        row key.  Existing rows are overwritten in place; missing rows are
+        re-inserted at a fresh physical location.
+        """
+        row = self._decode_row(payload)
+        if row.row_key in self._locations:
+            self._rewrite(row.row_key, payload)
+        else:
+            record_id = self.heap.insert(payload)
+            self._locations[row.row_key] = record_id
+        self._next_row_key = max(self._next_row_key, row.row_key + 1)
+        return row.row_key
+
+    def rebuild_locations(self) -> None:
+        """Rebuild the row-key → record-id map by scanning the heap (recovery)."""
+        self._locations.clear()
+        max_key = 0
+        for record_id, payload in self.heap.scan():
+            row = self._decode_row(payload)
+            self._locations[row.row_key] = record_id
+            max_key = max(max_key, row.row_key)
+        self._next_row_key = max_key + 1
+
+
+__all__ = ["TableStore", "StoredRow", "TableStoreStats", "STRATEGIES"]

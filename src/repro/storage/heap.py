@@ -1,0 +1,144 @@
+"""Heap files: unordered record storage on top of the buffer pool.
+
+Records are addressed by :class:`RecordId` — ``(page_id, slot)``.  The heap
+keeps record ids stable across in-place updates; when an update outgrows its
+page the heap transparently *relocates* the record and reports the new id so
+callers (indexes, the degradation scheduler) can fix their references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.errors import PageFullError, RecordNotFoundError, StorageError
+from .buffer import BufferPool
+from .page import SlottedPage
+
+
+@dataclass(frozen=True, order=True)
+class RecordId:
+    """Physical address of a record."""
+
+    page_id: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"({self.page_id},{self.slot})"
+
+
+class HeapFile:
+    """An unordered collection of records belonging to one table."""
+
+    def __init__(self, buffer_pool: BufferPool, name: str = "heap") -> None:
+        self.buffer_pool = buffer_pool
+        self.name = name
+        self._page_ids: List[int] = []
+        self._record_count = 0
+
+    # -- insert ------------------------------------------------------------------
+
+    def insert(self, payload: bytes) -> RecordId:
+        """Insert ``payload`` into the first page with room, allocating if needed."""
+        max_payload = self.buffer_pool.pager.page_size - 64
+        if len(payload) > max_payload:
+            raise StorageError(
+                f"record of {len(payload)} bytes exceeds page capacity ({max_payload})"
+            )
+        for page_id in reversed(self._page_ids):
+            page = self.buffer_pool.get_page(page_id)
+            if page.can_fit(len(payload)):
+                slot = page.insert(payload)
+                self.buffer_pool.mark_dirty(page_id)
+                self._record_count += 1
+                return RecordId(page_id, slot)
+        page_id = self.buffer_pool.new_page()
+        self._page_ids.append(page_id)
+        page = self.buffer_pool.get_page(page_id)
+        slot = page.insert(payload)
+        self.buffer_pool.mark_dirty(page_id)
+        self._record_count += 1
+        return RecordId(page_id, slot)
+
+    # -- read --------------------------------------------------------------------
+
+    def read(self, record_id: RecordId) -> bytes:
+        page = self.buffer_pool.get_page(record_id.page_id)
+        return page.read(record_id.slot)
+
+    def exists(self, record_id: RecordId) -> bool:
+        try:
+            page = self.buffer_pool.get_page(record_id.page_id)
+        except StorageError:
+            return False
+        return page.is_live(record_id.slot)
+
+    # -- update / delete -----------------------------------------------------------
+
+    def update(self, record_id: RecordId, payload: bytes) -> RecordId:
+        """Update a record in place when possible, relocating it otherwise.
+
+        Returns the (possibly new) record id.  The old location is securely
+        scrubbed on relocation.
+        """
+        page = self.buffer_pool.get_page(record_id.page_id)
+        if page.update(record_id.slot, payload):
+            self.buffer_pool.mark_dirty(record_id.page_id)
+            return record_id
+        # Relocation: delete (which zeroes the old payload) then insert afresh.
+        page.delete(record_id.slot)
+        self.buffer_pool.mark_dirty(record_id.page_id)
+        self._record_count -= 1
+        return self.insert(payload)
+
+    def delete(self, record_id: RecordId) -> None:
+        page = self.buffer_pool.get_page(record_id.page_id)
+        page.delete(record_id.slot)
+        self.buffer_pool.mark_dirty(record_id.page_id)
+        self._record_count -= 1
+
+    # -- scans ----------------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[RecordId, bytes]]:
+        """Yield ``(record_id, payload)`` for every live record."""
+        for page_id in self._page_ids:
+            page = self.buffer_pool.get_page(page_id)
+            for slot, payload in page.records():
+                yield RecordId(page_id, slot), payload
+
+    def record_ids(self) -> Iterator[RecordId]:
+        for record_id, _payload in self.scan():
+            yield record_id
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Compact every page (secure pages zero the reclaimed space)."""
+        for page_id in self._page_ids:
+            page = self.buffer_pool.get_page(page_id)
+            page.compact()
+            self.buffer_pool.mark_dirty(page_id)
+
+    def flush(self) -> None:
+        self.buffer_pool.flush_all()
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    @property
+    def page_count(self) -> int:
+        return len(self._page_ids)
+
+    def page_ids(self) -> List[int]:
+        return list(self._page_ids)
+
+    def raw_image(self) -> bytes:
+        """Concatenated raw images of the heap's pages (forensics)."""
+        parts = []
+        for page_id in self._page_ids:
+            parts.append(self.buffer_pool.get_page(page_id).raw())
+        return b"".join(parts)
+
+
+__all__ = ["HeapFile", "RecordId"]

@@ -1,0 +1,149 @@
+"""Pagers: allocation and persistence of fixed size pages.
+
+Two backends share the :class:`Pager` interface:
+
+* :class:`MemoryPager` — pages held in a dict, used by tests, examples and the
+  benchmarks (laptop-scale, deterministic).
+* :class:`FilePager` — pages persisted to a single file, used by the
+  durability / recovery tests and by anyone who wants an on-disk database.
+
+Both expose :meth:`Pager.raw_image` so the forensic scanner can look for
+residual plaintext in *all* bytes under management, not only live records.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, Optional
+
+from ..core.errors import StorageError
+from .page import DEFAULT_PAGE_SIZE, SlottedPage
+
+
+class Pager:
+    """Interface of a page store."""
+
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def allocate(self) -> int:
+        """Allocate a fresh page and return its page id."""
+        raise NotImplementedError
+
+    def read_page(self, page_id: int) -> SlottedPage:
+        raise NotImplementedError
+
+    def write_page(self, page_id: int, page: SlottedPage) -> None:
+        raise NotImplementedError
+
+    def num_pages(self) -> int:
+        raise NotImplementedError
+
+    def page_ids(self) -> Iterator[int]:
+        return iter(range(self.num_pages()))
+
+    def sync(self) -> None:
+        """Flush to stable storage (no-op for memory pagers)."""
+
+    def close(self) -> None:
+        """Release resources."""
+
+    def raw_image(self) -> bytes:
+        """Concatenation of every page image (forensic scanning)."""
+        return b"".join(self.read_page(pid).raw() for pid in self.page_ids())
+
+
+class MemoryPager(Pager):
+    """Pager keeping page images in memory."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, secure: bool = True) -> None:
+        self.page_size = page_size
+        self.secure = secure
+        self._pages: Dict[int, bytes] = {}
+        self._next_id = 0
+
+    def allocate(self) -> int:
+        page_id = self._next_id
+        self._next_id += 1
+        self._pages[page_id] = SlottedPage(self.page_size, secure=self.secure).to_bytes()
+        return page_id
+
+    def read_page(self, page_id: int) -> SlottedPage:
+        try:
+            data = self._pages[page_id]
+        except KeyError:
+            raise StorageError(f"unknown page id {page_id}") from None
+        return SlottedPage.from_bytes(data, secure=self.secure)
+
+    def write_page(self, page_id: int, page: SlottedPage) -> None:
+        if page_id not in self._pages:
+            raise StorageError(f"unknown page id {page_id}")
+        self._pages[page_id] = page.to_bytes()
+
+    def num_pages(self) -> int:
+        return self._next_id
+
+
+class FilePager(Pager):
+    """Pager persisting pages to a single binary file."""
+
+    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE,
+                 secure: bool = True) -> None:
+        self.page_size = page_size
+        self.secure = secure
+        self.path = path
+        exists = os.path.exists(path)
+        self._file = open(path, "r+b" if exists else "w+b")
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % page_size != 0:
+            raise StorageError(
+                f"file {path!r} has {size} bytes, not a multiple of page size {page_size}"
+            )
+        self._page_count = size // page_size
+
+    def allocate(self) -> int:
+        page_id = self._page_count
+        self._page_count += 1
+        empty = SlottedPage(self.page_size, secure=self.secure).to_bytes()
+        self._file.seek(page_id * self.page_size)
+        self._file.write(empty)
+        return page_id
+
+    def read_page(self, page_id: int) -> SlottedPage:
+        if not 0 <= page_id < self._page_count:
+            raise StorageError(f"unknown page id {page_id}")
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise StorageError(f"short read on page {page_id}")
+        return SlottedPage.from_bytes(data, secure=self.secure)
+
+    def write_page(self, page_id: int, page: SlottedPage) -> None:
+        if not 0 <= page_id < self._page_count:
+            raise StorageError(f"unknown page id {page_id}")
+        self._file.seek(page_id * self.page_size)
+        self._file.write(page.to_bytes())
+
+    def num_pages(self) -> int:
+        return self._page_count
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        try:
+            self._file.flush()
+        finally:
+            self._file.close()
+
+
+def open_pager(path: Optional[str] = None, page_size: int = DEFAULT_PAGE_SIZE,
+               secure: bool = True) -> Pager:
+    """Open a :class:`FilePager` when ``path`` is given, else a :class:`MemoryPager`."""
+    if path is None or path == ":memory:":
+        return MemoryPager(page_size=page_size, secure=secure)
+    return FilePager(path, page_size=page_size, secure=secure)
+
+
+__all__ = ["Pager", "MemoryPager", "FilePager", "open_pager"]

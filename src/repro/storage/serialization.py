@@ -1,0 +1,124 @@
+"""Record serialization.
+
+Records are tuples of Python values (ints, floats, booleans, strings and the
+degradation sentinels) encoded to a compact, self describing byte string.  The
+codec is deliberately simple — a one byte type tag followed by a fixed or
+length prefixed payload — so that tests can reason about exact byte layouts
+and the forensic scanner (:mod:`repro.privacy.forensic`) can grep raw pages
+for residual plaintext.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Sequence, Tuple
+
+from ..core.errors import StorageError
+from ..core.values import NULL, REMOVED, SUPPRESSED
+
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_TEXT = 3
+_TAG_BOOL_TRUE = 4
+_TAG_BOOL_FALSE = 5
+_TAG_SUPPRESSED = 6
+_TAG_REMOVED = 7
+_TAG_BYTES = 8
+
+_INT_STRUCT = struct.Struct("<q")
+_FLOAT_STRUCT = struct.Struct("<d")
+_LEN_STRUCT = struct.Struct("<I")
+_COUNT_STRUCT = struct.Struct("<H")
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one value to bytes."""
+    if value is NULL or value is None:
+        return bytes([_TAG_NULL])
+    if value is SUPPRESSED:
+        return bytes([_TAG_SUPPRESSED])
+    if value is REMOVED:
+        return bytes([_TAG_REMOVED])
+    if isinstance(value, bool):
+        return bytes([_TAG_BOOL_TRUE if value else _TAG_BOOL_FALSE])
+    if isinstance(value, int):
+        return bytes([_TAG_INT]) + _INT_STRUCT.pack(value)
+    if isinstance(value, float):
+        return bytes([_TAG_FLOAT]) + _FLOAT_STRUCT.pack(value)
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return bytes([_TAG_TEXT]) + _LEN_STRUCT.pack(len(payload)) + payload
+    if isinstance(value, (bytes, bytearray)):
+        payload = bytes(value)
+        return bytes([_TAG_BYTES]) + _LEN_STRUCT.pack(len(payload)) + payload
+    raise StorageError(f"cannot serialize value of type {type(value).__name__}: {value!r}")
+
+
+def decode_value(data: bytes, offset: int = 0) -> Tuple[Any, int]:
+    """Decode one value starting at ``offset``; return ``(value, next_offset)``."""
+    if offset >= len(data):
+        raise StorageError("truncated record: no type tag")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NULL:
+        return NULL, offset
+    if tag == _TAG_SUPPRESSED:
+        return SUPPRESSED, offset
+    if tag == _TAG_REMOVED:
+        return REMOVED, offset
+    if tag == _TAG_BOOL_TRUE:
+        return True, offset
+    if tag == _TAG_BOOL_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        end = offset + _INT_STRUCT.size
+        if end > len(data):
+            raise StorageError("truncated record: short INT payload")
+        return _INT_STRUCT.unpack_from(data, offset)[0], end
+    if tag == _TAG_FLOAT:
+        end = offset + _FLOAT_STRUCT.size
+        if end > len(data):
+            raise StorageError("truncated record: short FLOAT payload")
+        return _FLOAT_STRUCT.unpack_from(data, offset)[0], end
+    if tag in (_TAG_TEXT, _TAG_BYTES):
+        length_end = offset + _LEN_STRUCT.size
+        if length_end > len(data):
+            raise StorageError("truncated record: short length prefix")
+        (length,) = _LEN_STRUCT.unpack_from(data, offset)
+        end = length_end + length
+        if end > len(data):
+            raise StorageError("truncated record: short string payload")
+        payload = data[length_end:end]
+        if tag == _TAG_TEXT:
+            return payload.decode("utf-8"), end
+        return payload, end
+    raise StorageError(f"unknown type tag {tag} at offset {offset - 1}")
+
+
+def encode_record(values: Sequence[Any]) -> bytes:
+    """Encode a record (tuple of values) with a leading field count."""
+    if len(values) > 0xFFFF:
+        raise StorageError("records with more than 65535 fields are not supported")
+    parts: List[bytes] = [_COUNT_STRUCT.pack(len(values))]
+    for value in values:
+        parts.append(encode_value(value))
+    return b"".join(parts)
+
+
+def decode_record(data: bytes) -> Tuple[Any, ...]:
+    """Decode a record previously produced by :func:`encode_record`."""
+    if len(data) < _COUNT_STRUCT.size:
+        raise StorageError("truncated record: missing field count")
+    (count,) = _COUNT_STRUCT.unpack_from(data, 0)
+    offset = _COUNT_STRUCT.size
+    values = []
+    for _ in range(count):
+        value, offset = decode_value(data, offset)
+        values.append(value)
+    if offset != len(data):
+        raise StorageError("trailing bytes after record payload")
+    return tuple(values)
+
+
+__all__ = ["encode_value", "decode_value", "encode_record", "decode_record"]

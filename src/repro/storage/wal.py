@@ -1,0 +1,254 @@
+"""Write-ahead log with degradation-aware retention.
+
+Traditional WALs are one of the "unintended retention" channels the paper
+singles out: even after a value has been degraded in the data store, its
+accurate before-image survives in the log and can be recovered forensically.
+This WAL therefore supports, besides the classic append/flush/replay protocol:
+
+* ``DEGRADE`` log records that carry **no accurate before-image** — degradation
+  is deterministic and irreversible, so recovery never needs to undo it;
+* :meth:`WriteAheadLog.scrub_record` — physically rewrite the log so that no
+  image of a given record survives (used when a tuple reaches its final state
+  or is deleted);
+* :meth:`WriteAheadLog.truncate_until` — drop the prefix made obsolete by a
+  checkpoint.
+
+The log is held in memory and optionally mirrored to a file so that crash
+recovery tests can reopen it.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..core.errors import WALError
+from .serialization import decode_record, encode_record
+
+_LEN_STRUCT = struct.Struct("<I")
+
+
+class LogRecordType(Enum):
+    BEGIN = "BEGIN"
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+    INSERT = "INSERT"
+    UPDATE = "UPDATE"
+    DELETE = "DELETE"
+    DEGRADE = "DEGRADE"
+    REMOVE = "REMOVE"          # final removal at end of life cycle
+    CHECKPOINT = "CHECKPOINT"
+    SCRUB = "SCRUB"            # audit trace of a log scrubbing action
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log entry.
+
+    ``before`` and ``after`` are opaque byte images (encoded records).  For
+    ``DEGRADE`` records ``before`` is always ``None`` by construction.
+    """
+
+    lsn: int
+    txn_id: int
+    record_type: LogRecordType
+    table: str = ""
+    row_key: int = -1
+    attribute: str = ""
+    before: Optional[bytes] = None
+    after: Optional[bytes] = None
+    timestamp: float = 0.0
+
+    def encode(self) -> bytes:
+        return encode_record([
+            self.lsn,
+            self.txn_id,
+            self.record_type.value,
+            self.table,
+            self.row_key,
+            self.attribute,
+            self.before if self.before is not None else False,
+            self.after if self.after is not None else False,
+            float(self.timestamp),
+        ])
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "LogRecord":
+        values = decode_record(payload)
+        if len(values) != 9:
+            raise WALError(f"malformed log record with {len(values)} fields")
+        before = values[6] if isinstance(values[6], (bytes, bytearray)) else None
+        after = values[7] if isinstance(values[7], (bytes, bytearray)) else None
+        return cls(
+            lsn=int(values[0]),
+            txn_id=int(values[1]),
+            record_type=LogRecordType(values[2]),
+            table=str(values[3]),
+            row_key=int(values[4]),
+            attribute=str(values[5]),
+            before=bytes(before) if before is not None else None,
+            after=bytes(after) if after is not None else None,
+            timestamp=float(values[8]),
+        )
+
+
+@dataclass
+class WALStats:
+    appended: int = 0
+    flushed: int = 0
+    scrubbed_records: int = 0
+    scrub_rewrites: int = 0
+    truncations: int = 0
+
+
+class WriteAheadLog:
+    """Append-only log with degradation-aware scrubbing."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._records: List[LogRecord] = []
+        self._next_lsn = 1
+        self._flushed_lsn = 0
+        self.stats = WALStats()
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    # -- basic protocol -----------------------------------------------------
+
+    def append(self, record_type: LogRecordType, txn_id: int, *, table: str = "",
+               row_key: int = -1, attribute: str = "",
+               before: Optional[bytes] = None, after: Optional[bytes] = None,
+               timestamp: float = 0.0) -> LogRecord:
+        if record_type is LogRecordType.DEGRADE and before is not None:
+            raise WALError(
+                "DEGRADE log records must not carry an accurate before-image"
+            )
+        record = LogRecord(
+            lsn=self._next_lsn,
+            txn_id=txn_id,
+            record_type=record_type,
+            table=table,
+            row_key=row_key,
+            attribute=attribute,
+            before=before,
+            after=after,
+            timestamp=timestamp,
+        )
+        self._next_lsn += 1
+        self._records.append(record)
+        self.stats.appended += 1
+        return record
+
+    def flush(self) -> None:
+        """Persist every appended record (durability point)."""
+        if self.path is not None:
+            self._rewrite_file()
+        self._flushed_lsn = self._records[-1].lsn if self._records else self._flushed_lsn
+        self.stats.flushed += 1
+
+    @property
+    def last_lsn(self) -> int:
+        return self._records[-1].lsn if self._records else 0
+
+    @property
+    def flushed_lsn(self) -> int:
+        return self._flushed_lsn
+
+    def records(self) -> List[LogRecord]:
+        return list(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records_for(self, table: str, row_key: int) -> List[LogRecord]:
+        return [
+            record for record in self._records
+            if record.table == table and record.row_key == row_key
+        ]
+
+    # -- degradation-aware maintenance -----------------------------------------
+
+    def scrub_record(self, table: str, row_key: int, now: float = 0.0) -> int:
+        """Remove every image of ``(table, row_key)`` from the log.
+
+        The payloads of matching INSERT/UPDATE/DELETE records are dropped (the
+        structural entry remains so LSNs stay dense and recovery still knows a
+        record existed); the log file is rewritten so no byte of the images
+        survives on disk.  Returns the number of records scrubbed.
+        """
+        scrubbed = 0
+        for index, record in enumerate(self._records):
+            if record.table != table or record.row_key != row_key:
+                continue
+            if record.before is None and record.after is None:
+                continue
+            self._records[index] = replace(record, before=None, after=None)
+            scrubbed += 1
+        if scrubbed:
+            self.stats.scrubbed_records += scrubbed
+            self.stats.scrub_rewrites += 1
+            self.append(LogRecordType.SCRUB, txn_id=0, table=table, row_key=row_key,
+                        timestamp=now)
+            if self.path is not None:
+                self._rewrite_file()
+        return scrubbed
+
+    def truncate_until(self, lsn: int) -> int:
+        """Drop every record with ``record.lsn <= lsn`` (post-checkpoint cleanup)."""
+        before = len(self._records)
+        self._records = [record for record in self._records if record.lsn > lsn]
+        dropped = before - len(self._records)
+        if dropped:
+            self.stats.truncations += 1
+            if self.path is not None:
+                self._rewrite_file()
+        return dropped
+
+    # -- persistence -------------------------------------------------------------
+
+    def _rewrite_file(self) -> None:
+        assert self.path is not None
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            for record in self._records:
+                payload = record.encode()
+                handle.write(_LEN_STRUCT.pack(len(payload)))
+                handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+
+    def _load(self, path: str) -> None:
+        with open(path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset < len(data):
+            if offset + _LEN_STRUCT.size > len(data):
+                # Torn tail write: ignore the incomplete record.
+                break
+            (length,) = _LEN_STRUCT.unpack_from(data, offset)
+            offset += _LEN_STRUCT.size
+            if offset + length > len(data):
+                break
+            self._records.append(LogRecord.decode(data[offset:offset + length]))
+            offset += length
+        if self._records:
+            self._next_lsn = self._records[-1].lsn + 1
+            self._flushed_lsn = self._records[-1].lsn
+
+    def raw_image(self) -> bytes:
+        """Every byte currently held by the log (forensic scanning)."""
+        return b"".join(record.encode() for record in self._records)
+
+    def close(self) -> None:
+        if self.path is not None:
+            self._rewrite_file()
+
+
+__all__ = ["WriteAheadLog", "LogRecord", "LogRecordType", "WALStats"]

@@ -1,0 +1,154 @@
+"""Transactions and the transaction manager.
+
+User transactions follow the classic begin / operate / commit-or-abort
+protocol with strict 2PL and WAL logging.  Degradation introduces the twist
+the paper discusses under "How does data degradation impact transaction
+semantics?": an insert's effects keep changing after commit (the degradation
+steps), so durability applies to the *policy-compliant* state of the data, not
+to the accurate values themselves.  Concretely:
+
+* degradation steps run as short system transactions (``system=True``) so they
+  serialize against readers through the same lock manager;
+* undo of an aborted user transaction never restores an accurate image that a
+  degradation step already destroyed — undo actions are captured as closures
+  at operation time and become no-ops if the row has moved on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.errors import TransactionAborted, TransactionError
+from ..storage.wal import LogRecordType, WriteAheadLog
+from .locks import LockManager, LockMode
+
+
+class TransactionState(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+#: An undo action registered by the engine; called in reverse order on abort.
+UndoAction = Callable[[], None]
+
+
+@dataclass
+class Transaction:
+    """One transaction's book-keeping."""
+
+    txn_id: int
+    system: bool = False
+    state: TransactionState = TransactionState.ACTIVE
+    undo_actions: List[UndoAction] = field(default_factory=list)
+    started_at: float = 0.0
+
+    def require_active(self) -> None:
+        if self.state is not TransactionState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.state.value}, not active"
+            )
+
+    def on_abort(self, action: UndoAction) -> None:
+        """Register an undo action (engine-level logical undo)."""
+        self.require_active()
+        self.undo_actions.append(action)
+
+
+@dataclass
+class TransactionStats:
+    begun: int = 0
+    committed: int = 0
+    aborted: int = 0
+    system_begun: int = 0
+    reader_degrader_conflicts: int = 0
+
+
+class TransactionManager:
+    """Creates transactions, drives commit/abort, and owns the lock manager."""
+
+    def __init__(self, wal: WriteAheadLog, lock_manager: Optional[LockManager] = None) -> None:
+        self.wal = wal
+        self.locks = lock_manager or LockManager()
+        self._next_txn_id = 1
+        self._active: Dict[int, Transaction] = {}
+        self.stats = TransactionStats()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin(self, system: bool = False, now: float = 0.0) -> Transaction:
+        txn = Transaction(txn_id=self._next_txn_id, system=system, started_at=now)
+        self._next_txn_id += 1
+        self._active[txn.txn_id] = txn
+        self.wal.append(LogRecordType.BEGIN, txn.txn_id, timestamp=now)
+        self.stats.begun += 1
+        if system:
+            self.stats.system_begun += 1
+        return txn
+
+    def commit(self, txn: Transaction, now: float = 0.0) -> None:
+        txn.require_active()
+        self.wal.append(LogRecordType.COMMIT, txn.txn_id, timestamp=now)
+        self.wal.flush()
+        txn.state = TransactionState.COMMITTED
+        txn.undo_actions.clear()
+        self.locks.release_all(txn.txn_id)
+        self._active.pop(txn.txn_id, None)
+        self.stats.committed += 1
+
+    def abort(self, txn: Transaction, now: float = 0.0,
+              reason: str = "explicit rollback") -> None:
+        if txn.state is TransactionState.ABORTED:
+            return
+        txn.require_active()
+        for action in reversed(txn.undo_actions):
+            action()
+        txn.undo_actions.clear()
+        self.wal.append(LogRecordType.ABORT, txn.txn_id, timestamp=now)
+        self.wal.flush()
+        txn.state = TransactionState.ABORTED
+        self.locks.release_all(txn.txn_id)
+        self._active.pop(txn.txn_id, None)
+        self.stats.aborted += 1
+
+    # -- locking helpers --------------------------------------------------------
+
+    def lock_shared(self, txn: Transaction, resource: Any) -> bool:
+        txn.require_active()
+        return self.locks.acquire(txn.txn_id, resource, LockMode.SHARED)
+
+    def lock_exclusive(self, txn: Transaction, resource: Any) -> bool:
+        txn.require_active()
+        return self.locks.acquire(txn.txn_id, resource, LockMode.EXCLUSIVE)
+
+    def note_reader_degrader_conflict(self) -> None:
+        """Called by the engine when a degradation step had to wait for a reader
+        (or vice versa) — the C1 benchmark's conflict counter."""
+        self.stats.reader_degrader_conflicts += 1
+
+    # -- introspection -------------------------------------------------------------
+
+    def active_transactions(self) -> List[Transaction]:
+        return list(self._active.values())
+
+    def is_active(self, txn_id: int) -> bool:
+        return txn_id in self._active
+
+    def run_atomically(self, work: Callable[[Transaction], Any],
+                       system: bool = False, now: float = 0.0) -> Any:
+        """Run ``work`` in a fresh transaction, committing on success and
+        aborting (then re-raising) on failure."""
+        txn = self.begin(system=system, now=now)
+        try:
+            result = work(txn)
+        except BaseException:
+            self.abort(txn, now=now, reason="exception during atomic block")
+            raise
+        self.commit(txn, now=now)
+        return result
+
+
+__all__ = ["Transaction", "TransactionManager", "TransactionState",
+           "TransactionStats", "UndoAction"]

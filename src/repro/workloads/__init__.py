@@ -1,0 +1,15 @@
+"""Synthetic workload generators for the paper's motivating domains."""
+
+from .distributions import Distributions
+from .location import LocationEvent, LocationTraceGenerator, person_table_sql
+from .medical import AdmissionEvent, AdmissionGenerator, admissions_table_sql
+from .mixes import OLAPMix, OLTPMix, QuerySpec, standard_purposes_sql
+from .websearch import SearchEvent, SearchLogGenerator, searchlog_table_sql
+
+__all__ = [
+    "Distributions",
+    "LocationEvent", "LocationTraceGenerator", "person_table_sql",
+    "AdmissionEvent", "AdmissionGenerator", "admissions_table_sql",
+    "SearchEvent", "SearchLogGenerator", "searchlog_table_sql",
+    "OLAPMix", "OLTPMix", "QuerySpec", "standard_purposes_sql",
+]

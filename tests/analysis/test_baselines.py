@@ -1,0 +1,129 @@
+"""Tests for the baseline comparators (traditional, retention, k-anonymity)."""
+
+import pytest
+
+from repro.baselines import KAnonymizer, LimitedRetentionStore, TraditionalStore
+from repro.core.clock import DAY, HOUR
+from repro.core.domains import build_location_tree, build_salary_ranges
+from repro.core.errors import ConfigurationError
+from repro.core.values import SUPPRESSED
+
+
+class TestTraditionalStore:
+    def test_rows_kept_forever(self):
+        store = TraditionalStore()
+        store.insert({"location": "Paris"}, now=0.0)
+        store.insert({"location": "Lyon"}, now=10.0)
+        store.tick(now=10 * 365 * DAY)
+        assert store.row_count == 2
+        assert len(store.accurate_rows(now=10 * 365 * DAY)) == 2
+
+    def test_explicit_delete(self):
+        store = TraditionalStore()
+        key = store.insert({"location": "Paris"}, now=0.0)
+        assert store.delete(key)
+        assert not store.delete(key)
+        assert store.row_count == 0
+
+    def test_select_by_predicate(self):
+        store = TraditionalStore()
+        store.insert({"location": "Paris"}, now=0.0)
+        store.insert({"location": "Lyon"}, now=0.0)
+        rows = store.select(lambda values: values["location"] == "Paris")
+        assert len(rows) == 1
+
+    def test_visible_values(self):
+        store = TraditionalStore()
+        store.insert({"location": "Paris"}, now=0.0)
+        assert store.visible_values("location") == ["Paris"]
+
+
+class TestLimitedRetentionStore:
+    def test_rows_expire_after_limit(self):
+        store = LimitedRetentionStore(retention_limit=DAY)
+        store.insert({"location": "Paris"}, now=0.0)
+        store.insert({"location": "Lyon"}, now=HOUR)
+        assert store.tick(now=DAY) == 1
+        assert store.row_count == 1
+        assert store.tick(now=DAY + HOUR) == 1
+        assert store.expired_count == 2
+
+    def test_rows_accessor_applies_expiry(self):
+        store = LimitedRetentionStore(retention_limit=DAY)
+        store.insert({"location": "Paris"}, now=0.0)
+        assert len(store.rows(now=2 * DAY)) == 0
+
+    def test_all_or_nothing_accuracy(self):
+        store = LimitedRetentionStore(retention_limit=DAY)
+        store.insert({"location": "Paris"}, now=0.0)
+        assert len(store.accurate_rows(now=HOUR)) == 1
+        assert len(store.accurate_rows(now=2 * DAY)) == 0
+
+    def test_accurate_lifetime_is_whole_window(self):
+        assert LimitedRetentionStore(retention_limit=DAY).accurate_lifetime() == DAY
+
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LimitedRetentionStore(retention_limit=0)
+
+
+class TestKAnonymizer:
+    @pytest.fixture
+    def anonymizer(self):
+        return KAnonymizer({"location": build_location_tree(),
+                            "salary": build_salary_ranges()},
+                           identifier_columns=["name"])
+
+    def make_rows(self, tree, per_city=3):
+        rows = []
+        for city in list(tree.values_at_level(1))[:4]:
+            for index, address in enumerate(
+                    [a for a in tree.leaves() if a.endswith(city)][:per_city]):
+                rows.append({"name": f"user-{city}-{index}", "location": address,
+                             "salary": 2000 + 17 * index})
+        return rows
+
+    def test_k1_keeps_accurate_values(self, anonymizer):
+        tree = build_location_tree()
+        rows = self.make_rows(tree)
+        result = anonymizer.anonymize(rows, k=1)
+        assert result.satisfied
+        assert result.levels == {"location": 0, "salary": 0}
+
+    def test_k_anonymity_generalizes_until_classes_large_enough(self, anonymizer):
+        tree = build_location_tree()
+        rows = self.make_rows(tree)
+        result = anonymizer.anonymize(rows, k=3)
+        assert result.satisfied
+        assert result.smallest_class >= 3
+        # Identifiers are suppressed outright.
+        assert all(row["name"] is SUPPRESSED for row in result.rows)
+        # At least one quasi-identifier had to be generalized.
+        assert any(level > 0 for level in result.levels.values())
+
+    def test_unsatisfiable_k_reports_failure(self, anonymizer):
+        tree = build_location_tree()
+        rows = self.make_rows(tree)[:2]
+        result = anonymizer.anonymize(rows, k=5)
+        assert not result.satisfied
+        # Everything ended fully suppressed while trying.
+        assert result.levels["location"] == tree.max_level
+
+    def test_information_loss_monotone_in_k(self, anonymizer):
+        tree = build_location_tree()
+        rows = self.make_rows(tree)
+        loss_small_k = anonymizer.information_loss(anonymizer.anonymize(rows, k=2).levels)
+        loss_large_k = anonymizer.information_loss(anonymizer.anonymize(rows, k=6).levels)
+        assert 0.0 <= loss_small_k <= loss_large_k <= 1.0
+
+    def test_empty_input(self, anonymizer):
+        result = anonymizer.anonymize([], k=3)
+        assert result.satisfied and result.rows == []
+
+    def test_invalid_k_rejected(self, anonymizer):
+        with pytest.raises(ConfigurationError):
+            anonymizer.anonymize([{"location": "Paris"}], k=0)
+
+    def test_requires_schemes(self):
+        with pytest.raises(ConfigurationError):
+            KAnonymizer({})

@@ -1,0 +1,173 @@
+"""Tests for exposure metrics, attacker models and the forensic scanner."""
+
+import pytest
+
+from repro.core.clock import DAY, HOUR, MINUTE
+from repro.core.lcp import NEVER, AttributeLCP
+from repro.privacy.attack import (
+    capture_fraction_analytic,
+    cumulative_detection,
+    simulate_periodic_attack,
+    simulate_snapshot_attack,
+    snapshots_needed,
+    sweep_attack_periods,
+    tuples_accurate_at,
+)
+from repro.privacy.exposure import (
+    ExposureTimeline,
+    accurate_lifetime_of_policy,
+    engine_snapshot,
+    exposure_volume_analytic,
+    level_exposure_profile,
+    retention_vs_degradation_ratio,
+    snapshot_from_histogram,
+    steady_state_exposure,
+)
+from repro.privacy.forensic import scan_channels, scan_image
+
+from ..conftest import build_engine
+
+
+class TestExposureSnapshots:
+    def test_snapshot_from_histogram_cumulates(self):
+        snapshot = snapshot_from_histogram(10.0, {0: 5, 1: 3, 3: 2})
+        assert snapshot.total_rows == 10
+        assert snapshot.exposed(0) == 5
+        assert snapshot.exposed(1) == 8
+        assert snapshot.exposed(2) == 8
+        assert snapshot.exposed(3) == 10
+        assert snapshot.exposed_fraction(0) == 0.5
+
+    def test_empty_histogram(self):
+        snapshot = snapshot_from_histogram(0.0, {})
+        assert snapshot.total_rows == 0
+        assert snapshot.exposed_fraction(0) == 0.0
+
+    def test_engine_snapshot_tracks_degradation(self):
+        db = build_engine()
+        db.execute("INSERT INTO person (id, location) VALUES (1, '1 Main Street, Paris')")
+        db.execute("INSERT INTO person (id, location) VALUES (2, '2 Station Road, Lyon')")
+        before = engine_snapshot(db, "person", "location")
+        assert before.exposed(0) == 2
+        db.advance_time(hours=2)
+        after = engine_snapshot(db, "person", "location")
+        assert after.exposed(0) == 0
+        assert after.exposed(1) == 2
+
+    def test_timeline_volume_trapezoid(self):
+        timeline = ExposureTimeline(snapshots=[
+            snapshot_from_histogram(0.0, {0: 10}),
+            snapshot_from_histogram(10.0, {0: 10}),
+            snapshot_from_histogram(20.0, {0: 0}),
+        ])
+        assert timeline.volume(0) == pytest.approx(10 * 10 + 10 * 5)
+        assert timeline.peak(0) == 10
+        assert timeline.times() == [0.0, 10.0, 20.0]
+
+    def test_single_snapshot_volume_is_zero(self):
+        timeline = ExposureTimeline(snapshots=[snapshot_from_histogram(0.0, {0: 4})])
+        assert timeline.volume() == 0.0
+
+
+class TestAnalyticExposure:
+    def test_accurate_lifetime_is_first_delay(self, location_lcp):
+        assert accurate_lifetime_of_policy(location_lcp) == HOUR
+
+    def test_event_first_transition_never_expires(self, location_tree):
+        lcp = AttributeLCP(location_tree, states=[0, 4],
+                           transitions=[{"event": "x"}])
+        assert accurate_lifetime_of_policy(lcp) == NEVER
+        assert steady_state_exposure(1.0, NEVER) == float("inf")
+
+    def test_steady_state_little_law(self):
+        assert steady_state_exposure(arrival_rate=2.0, accurate_lifetime=30.0) == 60.0
+        with pytest.raises(Exception):
+            steady_state_exposure(-1.0, 10.0)
+
+    def test_exposure_volume(self):
+        assert exposure_volume_analytic(100, HOUR) == 100 * HOUR
+
+    def test_retention_ratio(self, location_lcp):
+        assert retention_vs_degradation_ratio(DAY, location_lcp) == pytest.approx(24.0)
+
+    def test_level_profile_staircase(self, location_lcp):
+        profile = level_exposure_profile(location_lcp)
+        assert [entry["level_name"] for entry in profile] == [
+            "address", "city", "region", "country", "suppressed"]
+        assert profile[0]["entered_at"] == 0.0
+        assert profile[0]["residence"] == HOUR
+        assert profile[-1]["residence"] == NEVER
+
+
+class TestAttackModels:
+    def test_tuples_accurate_at(self):
+        inserts = [0.0, 100.0, 200.0]
+        assert tuples_accurate_at(inserts, accurate_lifetime=50.0, when=120.0) == [1]
+        assert tuples_accurate_at(inserts, accurate_lifetime=500.0, when=120.0) == [0, 1]
+
+    def test_snapshot_attack_union(self):
+        inserts = [float(i * 100) for i in range(10)]
+        outcome = simulate_snapshot_attack(inserts, accurate_lifetime=100.0,
+                                           attack_times=[50.0, 450.0],
+                                           detection_per_snapshot=0.5)
+        assert outcome.captured_accurate == 2
+        assert outcome.snapshots_taken == 2
+        assert outcome.detection_probability == pytest.approx(0.75)
+
+    def test_periodic_attack_faster_than_step_captures_everything(self):
+        inserts = [float(i * 60) for i in range(100)]
+        outcome = simulate_periodic_attack(inserts, accurate_lifetime=HOUR,
+                                           period=30 * MINUTE, horizon=100 * 60 + HOUR)
+        assert outcome.capture_fraction == 1.0
+
+    def test_periodic_attack_slower_than_step_misses_data(self):
+        inserts = [float(i * 60) for i in range(1000)]
+        outcome = simulate_periodic_attack(inserts, accurate_lifetime=10 * MINUTE,
+                                           period=HOUR, horizon=1000 * 60)
+        assert outcome.capture_fraction < 0.5
+
+    def test_capture_fraction_analytic_bounds(self):
+        assert capture_fraction_analytic(HOUR, 30 * MINUTE) == 1.0
+        assert capture_fraction_analytic(30 * MINUTE, HOUR) == 0.5
+        assert capture_fraction_analytic(HOUR, 0) == 1.0
+
+    def test_detection_grows_with_snapshots(self):
+        few = cumulative_detection(0.01, snapshots_needed(DAY, HOUR))
+        many = cumulative_detection(0.01, snapshots_needed(DAY, MINUTE))
+        assert many > few
+        assert 0.0 <= few <= many <= 1.0
+
+    def test_sweep_attack_periods_shape(self):
+        inserts = [float(i * 30) for i in range(200)]
+        points = sweep_attack_periods(inserts, accurate_lifetime=HOUR,
+                                      periods=[10 * MINUTE, HOUR, 6 * HOUR],
+                                      horizon=200 * 30)
+        captures = [point.capture_fraction for point in points]
+        detections = [point.detection_probability for point in points]
+        # Faster attacks capture more but are detected more.
+        assert captures == sorted(captures, reverse=True)
+        assert detections == sorted(detections, reverse=True)
+
+
+class TestForensicScanner:
+    def test_scan_image_finds_text_and_numbers(self):
+        import struct
+        image = b"noise" + "21 rue X, Paris".encode() + struct.pack("<q", 4242) + b"tail"
+        report = scan_image(image, ["21 rue X, Paris", 4242, "absent"])
+        assert not report.clean
+        assert set(report.residual_values) == {"21 rue X, Paris", 4242}
+
+    def test_scan_channels_merges(self):
+        report = scan_channels({"heap": b"hello Paris", "wal": b"nothing"}, ["Paris"])
+        assert [finding.channel for finding in report.findings] == ["heap"]
+        assert "heap" in report.summary()
+
+    def test_clean_report(self):
+        report = scan_image(b"only noise", ["Paris"])
+        assert report.clean
+        assert "clean" in report.summary()
+
+    def test_multiple_occurrences_reported(self):
+        report = scan_image(b"Paris...Paris", ["Paris"])
+        assert len(report.findings) == 2
+        assert report.findings_in("image")

@@ -1,0 +1,128 @@
+"""Tests for the clocks and duration helpers."""
+
+import pytest
+
+from repro.core.clock import (
+    DAY,
+    HOUR,
+    MINUTE,
+    MONTH,
+    SimulatedClock,
+    WallClock,
+    duration,
+    format_duration,
+    make_clock,
+    parse_duration,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestDuration:
+    def test_basic_units(self):
+        assert duration(1, "hour") == 3600.0
+        assert duration(2, "days") == 2 * DAY
+        assert duration(30, "min") == 30 * MINUTE
+        assert duration(1, "month") == MONTH
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(ConfigurationError):
+            duration(1, "fortnight")
+
+    def test_parse_with_space(self):
+        assert parse_duration("1 hour") == HOUR
+        assert parse_duration("2 days") == 2 * DAY
+
+    def test_parse_compact(self):
+        assert parse_duration("30min") == 30 * MINUTE
+        assert parse_duration("45") == 45.0
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            parse_duration("")
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(ConfigurationError):
+            parse_duration("soon")
+
+    def test_format_roundtrip_readable(self):
+        assert format_duration(HOUR) == "1 hour"
+        assert format_duration(DAY) == "1 day"
+        assert format_duration(90) == "1.5 min"
+        assert format_duration(5) == "5 s"
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimulatedClock(start=100.0).now() == 100.0
+
+    def test_advance_seconds(self):
+        clock = SimulatedClock()
+        clock.advance(10)
+        assert clock.now() == 10.0
+
+    def test_advance_units(self):
+        clock = SimulatedClock()
+        clock.advance(hours=1, minutes=30)
+        assert clock.now() == pytest.approx(5400.0)
+
+    def test_advance_to(self):
+        clock = SimulatedClock()
+        clock.advance_to(500.0)
+        assert clock.now() == 500.0
+
+    def test_cannot_go_backwards(self):
+        clock = SimulatedClock()
+        clock.advance(10)
+        with pytest.raises(ConfigurationError):
+            clock.advance(-1)
+        with pytest.raises(ConfigurationError):
+            clock.advance_to(5)
+
+    def test_observers_fire_on_advance(self):
+        clock = SimulatedClock()
+        seen = []
+        clock.on_advance(seen.append)
+        clock.advance(5)
+        clock.advance(hours=1)
+        assert seen == [5.0, 5.0 + HOUR]
+
+    def test_remove_observer(self):
+        clock = SimulatedClock()
+        seen = []
+        clock.on_advance(seen.append)
+        clock.remove_observer(seen.append)
+        clock.advance(5)
+        assert seen == []
+
+    def test_sleep_until_advances(self):
+        clock = SimulatedClock()
+        clock.sleep_until(42.0)
+        assert clock.now() == 42.0
+
+    def test_sleep_until_past_is_noop(self):
+        clock = SimulatedClock()
+        clock.advance(10)
+        clock.sleep_until(5.0)
+        assert clock.now() == 10.0
+
+
+class TestMakeClock:
+    def test_simulated(self):
+        assert isinstance(make_clock("simulated"), SimulatedClock)
+        assert isinstance(make_clock("sim"), SimulatedClock)
+
+    def test_wall(self):
+        assert isinstance(make_clock("wall"), WallClock)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_clock("quartz")
+
+    def test_wall_clock_monotonic(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first

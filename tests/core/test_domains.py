@@ -1,0 +1,61 @@
+"""Tests for the ready-made attribute domains."""
+
+import pytest
+
+from repro.core.domains import (
+    addresses_for_city,
+    build_diagnosis_tree,
+    build_location_tree,
+    build_salary_ranges,
+    build_timestamp_scheme,
+    build_websearch_tree,
+    standard_domains,
+)
+from repro.core.values import SUPPRESSED
+
+
+class TestLocationDomain:
+    def test_levels_match_paper_figure(self, location_tree):
+        assert [location_tree.level_name(i) for i in range(location_tree.num_levels)] == [
+            "address", "city", "region", "country", "suppressed",
+        ]
+
+    def test_every_address_generalizes_to_its_city(self, location_tree):
+        for city in location_tree.values_at_level(1):
+            for address in addresses_for_city(city):
+                assert location_tree.generalize(address, 1) == city
+
+    def test_countries_present(self, location_tree):
+        countries = set(location_tree.values_at_level(3))
+        assert {"France", "Netherlands", "Germany"} <= countries
+
+    def test_full_chain_reaches_suppressed(self, location_tree):
+        address = location_tree.leaves()[0]
+        assert location_tree.generalize(address, 4) is SUPPRESSED
+
+
+class TestOtherDomains:
+    def test_salary_levels(self, salary_scheme):
+        assert salary_scheme.level_name(2) == "range1000"
+        assert salary_scheme.generalize(2765, 2) == "2000-3000"
+
+    def test_websearch_tree(self, websearch_tree):
+        query = websearch_tree.leaves()[0]
+        topic = websearch_tree.generalize(query, 1)
+        category = websearch_tree.generalize(query, 2)
+        assert topic in websearch_tree.values_at_level(1)
+        assert category in websearch_tree.values_at_level(2)
+
+    def test_diagnosis_tree(self, diagnosis_tree):
+        assert diagnosis_tree.generalize("asthma", 2) == "pulmonology"
+        assert diagnosis_tree.generalize("type 2 diabetes", 1) == "metabolic disorders"
+
+    def test_timestamp_scheme(self):
+        scheme = build_timestamp_scheme()
+        assert scheme.num_levels == 6
+
+    def test_standard_domains_bundle(self):
+        domains = standard_domains()
+        assert set(domains) == {"location", "salary", "websearch", "diagnosis", "event_time"}
+        # All freshly built objects, independent across calls.
+        assert standard_domains()["location"] is not domains["location"]

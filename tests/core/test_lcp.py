@@ -1,0 +1,219 @@
+"""Tests for attribute and tuple life cycle policies (paper Fig. 2 / Fig. 3)."""
+
+import pytest
+
+from repro.core.clock import DAY, HOUR, MONTH
+from repro.core.errors import PolicyError
+from repro.core.lcp import NEVER, AttributeLCP, Transition, TupleLCP, freeze_state, thaw_state
+from repro.core.values import SUPPRESSED
+
+
+class TestTransition:
+    def test_timed_transition(self):
+        transition = Transition(delay=3600.0)
+        assert transition.timed
+        assert "hour" in transition.describe()
+
+    def test_event_transition(self):
+        transition = Transition(event="consent_withdrawn")
+        assert not transition.timed
+        assert "consent_withdrawn" in transition.describe()
+
+    def test_both_or_neither_rejected(self):
+        with pytest.raises(PolicyError):
+            Transition()
+        with pytest.raises(PolicyError):
+            Transition(delay=1.0, event="x")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(PolicyError):
+            Transition(delay=-1.0)
+
+
+class TestAttributeLCP:
+    @pytest.fixture
+    def lcp(self, location_tree):
+        # Paper Fig. 2: address -(1h)-> city -(1d)-> region -(1mo)-> country -(3mo)-> gone
+        return AttributeLCP(location_tree,
+                            transitions=["1 hour", "1 day", "1 month", "3 months"],
+                            name="location_lcp")
+
+    def test_defaults_use_every_level(self, lcp, location_tree):
+        assert lcp.states == list(range(location_tree.num_levels))
+        assert lcp.num_states == 5
+
+    def test_state_levels_and_names(self, lcp):
+        assert lcp.state_level(0) == 0
+        assert lcp.state_level(4) == 4
+        assert lcp.state_names()[0] == "address"
+        assert lcp.state_names()[-1] == "suppressed"
+
+    def test_level_to_state(self, lcp):
+        assert lcp.level_to_state(3) == 3
+        with pytest.raises(PolicyError):
+            AttributeLCP(lcp.scheme, states=[0, 2, 4],
+                         transitions=["1 h", "1 d"]).level_to_state(1)
+
+    def test_entry_times_accumulate(self, lcp):
+        entries = lcp.entry_times()
+        assert entries[0] == 0.0
+        assert entries[1] == HOUR
+        assert entries[2] == HOUR + DAY
+        assert entries[3] == HOUR + DAY + MONTH
+        assert entries[4] == HOUR + DAY + MONTH + 3 * MONTH
+
+    def test_state_at_times(self, lcp):
+        assert lcp.state_at(0) == 0
+        assert lcp.state_at(HOUR - 1) == 0
+        assert lcp.state_at(HOUR) == 1
+        assert lcp.state_at(HOUR + DAY) == 2
+        assert lcp.state_at(HOUR + DAY + MONTH + 3 * MONTH + 1) == 4
+
+    def test_level_at(self, lcp):
+        assert lcp.level_at(0) == 0
+        assert lcp.level_at(HOUR) == 1
+
+    def test_negative_elapsed_rejected(self, lcp):
+        with pytest.raises(PolicyError):
+            lcp.state_at(-1)
+
+    def test_next_transition(self, lcp):
+        when, state = lcp.next_transition(0)
+        assert when == HOUR and state == 1
+        when, state = lcp.next_transition(HOUR)
+        assert when == HOUR + DAY and state == 2
+        assert lcp.next_transition(10 * MONTH) is None
+
+    def test_shortest_delay_and_lifetime(self, lcp):
+        assert lcp.shortest_delay == HOUR
+        assert lcp.total_lifetime == HOUR + DAY + MONTH + 3 * MONTH
+
+    def test_fully_suppresses(self, lcp):
+        assert lcp.fully_suppresses
+
+    def test_partial_policy_not_fully_suppressing(self, location_tree):
+        partial = AttributeLCP(location_tree, states=[0, 1, 3],
+                               transitions=["1 h", "1 d"])
+        assert not partial.fully_suppresses
+        assert partial.final_level == 3
+
+    def test_degrade_uses_scheme(self, lcp):
+        assert lcp.degrade("1 Main Street, Paris", 0, 1) == "Paris"
+        assert lcp.degrade("Paris", 1, 3) == "France"
+        assert lcp.degrade("France", 3, 4) is SUPPRESSED
+
+    def test_degrade_backwards_rejected(self, lcp):
+        with pytest.raises(PolicyError):
+            lcp.degrade("Paris", 1, 0)
+
+    def test_states_must_increase(self, location_tree):
+        with pytest.raises(PolicyError):
+            AttributeLCP(location_tree, states=[0, 2, 1], transitions=["1 h", "1 h"])
+
+    def test_at_least_two_states(self, location_tree):
+        with pytest.raises(PolicyError):
+            AttributeLCP(location_tree, states=[0], transitions=[])
+
+    def test_transition_count_must_match(self, location_tree):
+        with pytest.raises(PolicyError):
+            AttributeLCP(location_tree, states=[0, 1, 2], transitions=["1 h"])
+
+    def test_transitions_required(self, location_tree):
+        with pytest.raises(PolicyError):
+            AttributeLCP(location_tree, states=[0, 1])
+
+    def test_level_outside_domain_rejected(self, location_tree):
+        with pytest.raises(PolicyError):
+            AttributeLCP(location_tree, states=[0, 9], transitions=["1 h"])
+
+    def test_describe_shows_chain(self, lcp):
+        text = lcp.describe()
+        assert "d0=address" in text
+        assert "-->" in text
+
+    def test_event_transition_blocks_until_fired(self, location_tree):
+        lcp = AttributeLCP(location_tree, states=[0, 1, 4],
+                           transitions=["1 h", {"event": "consent_withdrawn"}])
+        assert lcp.state_at(10 * MONTH) == 1
+        assert lcp.total_lifetime == NEVER
+        fired = {"consent_withdrawn": 2 * HOUR}
+        assert lcp.state_at(2 * HOUR, events=fired) == 2
+        assert lcp.state_at(90 * 60, events=fired) == 1
+
+    def test_event_before_timed_entry_does_not_skip(self, location_tree):
+        lcp = AttributeLCP(location_tree, states=[0, 1, 4],
+                           transitions=["1 h", {"event": "audit"}])
+        # Event fired before the first timed transition: entry to the final
+        # state cannot precede entry to the intermediate state.
+        entries = lcp.entry_times({"audit": 60.0})
+        assert entries[2] >= entries[1]
+
+
+class TestTupleLCP:
+    @pytest.fixture
+    def tuple_lcp(self, location_tree, salary_scheme):
+        location = AttributeLCP(location_tree,
+                                transitions=["1 hour", "1 day", "1 month", "3 months"])
+        salary = AttributeLCP(salary_scheme, states=[0, 2, 4],
+                              transitions=["2 hours", "2 days"])
+        return TupleLCP({"location": location, "salary": salary})
+
+    def test_initial_and_final_states(self, tuple_lcp):
+        assert thaw_state(tuple_lcp.initial_state) == {"location": 0, "salary": 0}
+        assert thaw_state(tuple_lcp.final_state) == {"location": 4, "salary": 2}
+
+    def test_state_at_combines_attributes(self, tuple_lcp):
+        assert tuple_lcp.state_at(0) == {"location": 0, "salary": 0}
+        assert tuple_lcp.state_at(HOUR) == {"location": 1, "salary": 0}
+        assert tuple_lcp.state_at(2 * HOUR) == {"location": 1, "salary": 1}
+        assert tuple_lcp.state_at(100 * MONTH) == {"location": 4, "salary": 2}
+
+    def test_levels_at(self, tuple_lcp):
+        levels = tuple_lcp.levels_at(2 * HOUR)
+        assert levels == {"location": 1, "salary": 2}
+
+    def test_transition_schedule_is_chronological_chain(self, tuple_lcp):
+        schedule = tuple_lcp.transition_schedule()
+        times = [when for when, _state in schedule]
+        assert times == sorted(times)
+        assert schedule[0][1] == tuple_lcp.initial_state
+        assert schedule[-1][1] == tuple_lcp.final_state
+
+    def test_visited_states_count(self, tuple_lcp):
+        # 4 location transitions + 2 salary transitions + initial state, all at
+        # distinct instants -> 7 visited tuple states.
+        assert tuple_lcp.num_visited_states() == 7
+
+    def test_reachable_lattice_size(self, tuple_lcp):
+        assert len(tuple_lcp.reachable_states()) == 5 * 3
+
+    def test_visited_chain_is_within_lattice(self, tuple_lcp):
+        lattice = set(tuple_lcp.reachable_states())
+        assert set(tuple_lcp.visited_states()) <= lattice
+
+    def test_successors_advance_one_attribute(self, tuple_lcp):
+        successors = tuple_lcp.successors({"location": 0, "salary": 0})
+        assert freeze_state({"location": 1, "salary": 0}) in successors
+        assert freeze_state({"location": 0, "salary": 1}) in successors
+        assert len(successors) == 2
+
+    def test_final_state_has_no_successors(self, tuple_lcp):
+        assert tuple_lcp.successors(thaw_state(tuple_lcp.final_state)) == []
+
+    def test_is_final(self, tuple_lcp):
+        assert tuple_lcp.is_final(thaw_state(tuple_lcp.final_state))
+        assert not tuple_lcp.is_final(thaw_state(tuple_lcp.initial_state))
+
+    def test_total_lifetime_is_max_of_attributes(self, tuple_lcp):
+        assert tuple_lcp.total_lifetime == HOUR + DAY + MONTH + 3 * MONTH
+
+    def test_shortest_delay_is_min_over_attributes(self, tuple_lcp):
+        assert tuple_lcp.shortest_delay == HOUR
+
+    def test_empty_tuple_lcp_rejected(self):
+        with pytest.raises(PolicyError):
+            TupleLCP({})
+
+    def test_describe(self, tuple_lcp):
+        text = tuple_lcp.describe()
+        assert "location" in text and "salary" in text

@@ -1,0 +1,118 @@
+"""Tests for purposes, policy registries and table policies."""
+
+import pytest
+
+from repro.core.errors import CatalogError, PolicyError
+from repro.core.lcp import AttributeLCP
+from repro.core.policy import AccuracyRequirement, PolicyRegistry, Purpose, TablePolicy
+
+
+class TestPurpose:
+    def test_require_and_lookup(self, location_tree):
+        purpose = Purpose("stat").require("person", "location", "country")
+        assert purpose.accuracy_for("person", "location", location_tree) == 3
+        assert purpose.accuracy_for("PERSON", "LOCATION", location_tree) == 3
+
+    def test_numeric_level(self, location_tree):
+        purpose = Purpose("raw").require("person", "location", 2)
+        assert purpose.accuracy_for("person", "location", location_tree) == 2
+
+    def test_numeric_level_out_of_range(self, location_tree):
+        purpose = Purpose("bad").require("person", "location", 42)
+        with pytest.raises(PolicyError):
+            purpose.accuracy_for("person", "location", location_tree)
+
+    def test_unmentioned_column_returns_none(self, location_tree):
+        purpose = Purpose("stat")
+        assert purpose.accuracy_for("person", "location", location_tree) is None
+
+    def test_describe(self):
+        purpose = Purpose("stat").require("person", "location", "country")
+        text = purpose.describe()
+        assert "stat" in text and "country" in text.lower()
+
+    def test_requirement_resolution_by_name(self, salary_scheme):
+        requirement = AccuracyRequirement("person", "salary", "range1000")
+        assert requirement.resolve(salary_scheme) == 2
+
+
+class TestPolicyRegistry:
+    def test_register_and_get_domain(self, location_tree):
+        registry = PolicyRegistry()
+        registry.register_domain(location_tree)
+        assert registry.domain("location") is location_tree
+        assert registry.has_domain("LOCATION")
+
+    def test_duplicate_domain_rejected(self, location_tree):
+        registry = PolicyRegistry()
+        registry.register_domain(location_tree)
+        with pytest.raises(CatalogError):
+            registry.register_domain(location_tree)
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(CatalogError):
+            PolicyRegistry().domain("nope")
+
+    def test_register_and_get_policy(self, location_lcp):
+        registry = PolicyRegistry()
+        registry.register_policy(location_lcp)
+        assert registry.policy("location_lcp") is location_lcp
+        assert registry.has_policy("LOCATION_LCP")
+
+    def test_duplicate_policy_rejected(self, location_lcp):
+        registry = PolicyRegistry()
+        registry.register_policy(location_lcp)
+        with pytest.raises(CatalogError):
+            registry.register_policy(location_lcp)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(CatalogError):
+            PolicyRegistry().policy("ghost")
+
+    def test_listing(self, location_tree, location_lcp):
+        registry = PolicyRegistry()
+        registry.register_domain(location_tree)
+        registry.register_policy(location_lcp)
+        assert "location" in registry.domains()
+        assert "location_lcp" in registry.policies()
+
+
+class TestTablePolicy:
+    @pytest.fixture
+    def table_policy(self, location_lcp, salary_lcp):
+        policy = TablePolicy(table="person")
+        policy.add_column("location", location_lcp)
+        policy.add_column("salary", salary_lcp)
+        return policy
+
+    def test_degradable_columns(self, table_policy):
+        assert set(table_policy.degradable_columns()) == {"location", "salary"}
+        assert table_policy.has_degradable_columns()
+
+    def test_policy_for(self, table_policy, location_lcp):
+        assert table_policy.policy_for("LOCATION") is location_lcp
+        with pytest.raises(PolicyError):
+            table_policy.policy_for("name")
+
+    def test_tuple_lcp_combines_columns(self, table_policy):
+        tuple_lcp = table_policy.tuple_lcp()
+        assert set(tuple_lcp.attributes) == {"location", "salary"}
+
+    def test_override_requires_selector_column(self, table_policy, location_tree):
+        strict = AttributeLCP(location_tree, transitions=["1 min", "1 h", "1 d", "1 w"],
+                              name="strict")
+        with pytest.raises(PolicyError):
+            table_policy.register_override(42, {"location": strict})
+
+    def test_override_changes_policy_for_selected_tuples(self, table_policy, location_tree):
+        table_policy.selector_column = "user_id"
+        strict = AttributeLCP(location_tree, transitions=["1 min", "1 h", "1 d", "1 w"],
+                              name="strict")
+        table_policy.register_override(42, {"location": strict})
+        assert table_policy.policy_for("location", selector_value=42) is strict
+        assert table_policy.policy_for("location", selector_value=7) is not strict
+        assert table_policy.tuple_lcp(42).attributes["location"] is strict
+
+    def test_describe(self, table_policy):
+        text = table_policy.describe()
+        assert "person" in text and "location" in text

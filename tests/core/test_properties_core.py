@@ -1,0 +1,107 @@
+"""Property-based tests on the core degradation model (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domains import build_location_tree, build_salary_ranges
+from repro.core.generalization import NumericRangeGeneralization
+from repro.core.lcp import AttributeLCP
+from repro.core.values import SUPPRESSED, sort_key
+
+LOCATION = build_location_tree()
+SALARY = build_salary_ranges()
+ADDRESSES = LOCATION.leaves()
+
+levels = st.integers(min_value=0, max_value=LOCATION.max_level)
+addresses = st.sampled_from(ADDRESSES)
+
+
+class TestGeneralizationProperties:
+    @given(value=addresses, level=levels)
+    def test_degradation_is_idempotent(self, value, level):
+        """f_k(f_k(x)) == f_k(x)."""
+        once = LOCATION.generalize(value, level)
+        twice = LOCATION.generalize(once, level, from_level=level)
+        assert once == twice
+
+    @given(value=addresses, first=levels, second=levels)
+    def test_degradation_composes(self, value, first, second):
+        """Degrading to j then to k >= j equals degrading straight to k."""
+        low, high = sorted((first, second))
+        via = LOCATION.generalize(LOCATION.generalize(value, low), high, from_level=low)
+        direct = LOCATION.generalize(value, high)
+        assert via == direct
+
+    @given(value=addresses, level=levels)
+    def test_result_belongs_to_target_level(self, value, level):
+        result = LOCATION.generalize(value, level)
+        assert result in LOCATION.values_at_level(level)
+
+    @given(value=addresses)
+    def test_root_is_always_suppressed(self, value):
+        assert LOCATION.generalize(value, LOCATION.max_level) is SUPPRESSED
+
+    @given(value=st.integers(min_value=-10**6, max_value=10**6),
+           level=st.integers(min_value=1, max_value=3))
+    def test_numeric_ranges_contain_their_value(self, value, level):
+        result = SALARY.generalize(value, level)
+        low, high = SALARY.parse_range(result)
+        assert low <= value < high
+
+    @given(value=st.integers(min_value=-10**6, max_value=10**6),
+           first=st.integers(min_value=1, max_value=3),
+           second=st.integers(min_value=1, max_value=3))
+    def test_numeric_ranges_nest(self, value, first, second):
+        """The coarser range always contains the finer range."""
+        low_level, high_level = sorted((first, second))
+        fine = SALARY.parse_range(SALARY.generalize(value, low_level))
+        coarse = SALARY.parse_range(SALARY.generalize(value, high_level))
+        assert coarse[0] <= fine[0] and fine[1] <= coarse[1]
+
+    @given(widths=st.lists(st.integers(min_value=1, max_value=1000), min_size=1,
+                           max_size=4))
+    def test_arbitrary_nondecreasing_widths_accepted(self, widths):
+        widths = sorted(widths)
+        scheme = NumericRangeGeneralization("x", widths=widths)
+        assert scheme.num_levels == len(widths) + 2
+
+
+DELAYS = st.lists(st.integers(min_value=1, max_value=10**6), min_size=4, max_size=4)
+
+
+class TestLCPProperties:
+    @given(delays=DELAYS, elapsed=st.floats(min_value=0, max_value=10**7,
+                                            allow_nan=False))
+    def test_state_is_monotone_in_time(self, delays, elapsed):
+        lcp = AttributeLCP(LOCATION, transitions=delays)
+        earlier = lcp.state_at(elapsed * 0.5)
+        later = lcp.state_at(elapsed)
+        assert later >= earlier
+
+    @given(delays=DELAYS)
+    def test_entry_times_are_nondecreasing(self, delays):
+        lcp = AttributeLCP(LOCATION, transitions=delays)
+        entries = lcp.entry_times()
+        assert entries == sorted(entries)
+        assert entries[-1] == sum(delays)
+
+    @given(delays=DELAYS)
+    def test_shortest_delay_bounds_all_delays(self, delays):
+        lcp = AttributeLCP(LOCATION, transitions=delays)
+        assert lcp.shortest_delay == min(delays)
+
+    @given(delays=DELAYS, elapsed=st.floats(min_value=0, max_value=10**7,
+                                            allow_nan=False))
+    def test_level_at_never_exceeds_final(self, delays, elapsed):
+        lcp = AttributeLCP(LOCATION, transitions=delays)
+        assert 0 <= lcp.level_at(elapsed) <= lcp.final_level
+
+
+class TestSortKeyProperties:
+    @given(st.lists(st.one_of(st.integers(), st.floats(allow_nan=False),
+                              st.text(), st.booleans()), max_size=30))
+    def test_sort_key_gives_total_order(self, values):
+        ordered = sorted(values, key=sort_key)
+        # Sorting twice is stable and idempotent.
+        assert sorted(ordered, key=sort_key) == ordered

@@ -1,0 +1,175 @@
+"""Tests for the degradation scheduler."""
+
+import pytest
+
+from repro.core.clock import DAY, HOUR, MONTH
+from repro.core.errors import DegradationError
+from repro.core.lcp import AttributeLCP, TupleLCP
+from repro.core.scheduler import DegradationScheduler, DegradationStep
+
+
+@pytest.fixture
+def tuple_lcp(location_tree):
+    return TupleLCP({
+        "location": AttributeLCP(location_tree,
+                                 transitions=["1 hour", "1 day", "1 month", "3 months"]),
+    })
+
+
+@pytest.fixture
+def two_attr_lcp(location_tree, salary_scheme):
+    return TupleLCP({
+        "location": AttributeLCP(location_tree,
+                                 transitions=["1 hour", "1 day", "1 month", "3 months"]),
+        "salary": AttributeLCP(salary_scheme, states=[0, 2, 4],
+                               transitions=["2 hours", "2 days"]),
+    })
+
+
+def collect_applier(applied):
+    def applier(step: DegradationStep) -> bool:
+        applied.append(step)
+        return True
+    return applier
+
+
+class TestRegistration:
+    def test_register_and_query_state(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        assert scheduler.is_registered("r1")
+        assert scheduler.current_state("r1") == {"location": 0}
+        assert scheduler.registered_count() == 1
+
+    def test_double_registration_rejected(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        with pytest.raises(DegradationError):
+            scheduler.register("r1", tuple_lcp, inserted_at=1.0)
+
+    def test_unknown_record_state_raises(self):
+        with pytest.raises(DegradationError):
+            DegradationScheduler().current_state("ghost")
+
+    def test_cancel_removes_registration(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        scheduler.cancel("r1")
+        assert not scheduler.is_registered("r1")
+        # Cancelling twice is harmless.
+        scheduler.cancel("r1")
+
+
+class TestTimedSteps:
+    def test_peek_next_due(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=10.0)
+        assert scheduler.peek_next_due() == 10.0 + HOUR
+
+    def test_nothing_due_before_first_delay(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        applied = []
+        scheduler.run_due(HOUR - 1, collect_applier(applied))
+        assert applied == []
+
+    def test_steps_fire_in_order(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        applied = []
+        scheduler.run_due(HOUR + DAY, collect_applier(applied))
+        assert [(s.from_state, s.to_state) for s in applied] == [(0, 1), (1, 2)]
+
+    def test_catch_up_applies_all_missed_steps(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        applied = []
+        scheduler.run_due(10 * MONTH, collect_applier(applied))
+        assert len(applied) == 4
+        assert scheduler.stats.records_completed == 1
+        assert not scheduler.is_registered("r1")
+
+    def test_lag_statistics(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        applied = []
+        scheduler.run_due(HOUR + 30, collect_applier(applied))
+        assert scheduler.stats.steps_applied == 1
+        assert scheduler.stats.max_lag == pytest.approx(30.0)
+        assert scheduler.stats.mean_lag == pytest.approx(30.0)
+        assert scheduler.stats.percentile_lag(0.5) == pytest.approx(30.0)
+
+    def test_completion_callback(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        completed = []
+        scheduler.run_due(10 * MONTH, lambda step: True, on_complete=completed.append)
+        assert completed == ["r1"]
+
+    def test_applier_false_drops_without_state_change(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        scheduler.run_due(HOUR, lambda step: False)
+        assert scheduler.current_state("r1") == {"location": 0}
+
+    def test_defer_requeues_step(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        deferred = []
+
+        def refusing(step):
+            deferred.append(step)
+            scheduler.defer(step, until=step.due + 100)
+            return False
+
+        scheduler.run_due(HOUR, refusing)
+        assert len(deferred) == 1
+        applied = []
+        scheduler.run_due(HOUR + 200, collect_applier(applied))
+        assert [(s.from_state, s.to_state) for s in applied] == [(0, 1)]
+
+    def test_multiple_records_independent(self, tuple_lcp, two_attr_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("a", tuple_lcp, inserted_at=0.0)
+        scheduler.register("b", two_attr_lcp, inserted_at=HOUR)
+        applied = []
+        scheduler.run_due(2 * HOUR, collect_applier(applied))
+        records = {step.record_id for step in applied}
+        assert records == {"a", "b"}
+
+    def test_pending_count_skips_stale(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        assert scheduler.pending_count() == 1
+        scheduler.cancel("r1")
+        assert scheduler.pending_count() == 0
+        assert scheduler.peek_next_due() is None
+
+
+class TestEventSteps:
+    def test_event_transition_waits_for_event(self, location_tree):
+        lcp = AttributeLCP(location_tree, states=[0, 1, 4],
+                           transitions=["1 h", {"event": "subpoena_denied"}])
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", TupleLCP({"location": lcp}), inserted_at=0.0)
+        applied = []
+        scheduler.run_due(10 * MONTH, collect_applier(applied))
+        assert [(s.from_state, s.to_state) for s in applied] == [(0, 1)]
+        # Now fire the event: the final transition becomes due immediately.
+        released = scheduler.fire_event("subpoena_denied", now=10 * MONTH)
+        assert len(released) == 1
+        scheduler.run_due(10 * MONTH, collect_applier(applied))
+        assert [(s.from_state, s.to_state) for s in applied] == [(0, 1), (1, 2)]
+        assert scheduler.stats.records_completed == 1
+
+    def test_event_for_cancelled_record_is_ignored(self, location_tree):
+        lcp = AttributeLCP(location_tree, states=[0, 4], transitions=[{"event": "go"}])
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", TupleLCP({"location": lcp}), inserted_at=0.0)
+        scheduler.cancel("r1")
+        assert scheduler.fire_event("go", now=5.0) == []
+
+    def test_unknown_event_is_noop(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        assert scheduler.fire_event("never_registered", now=1.0) == []

@@ -1,0 +1,114 @@
+"""Tests for typed values, sentinels and the total value ordering."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.values import (
+    NULL,
+    REMOVED,
+    SUPPRESSED,
+    AccuracyTagged,
+    ValueType,
+    coerce,
+    is_missing,
+    sort_key,
+)
+
+
+class TestSentinels:
+    def test_sentinels_are_falsy(self):
+        assert not SUPPRESSED
+        assert not REMOVED
+        assert not NULL
+
+    def test_sentinels_compare_only_to_themselves(self):
+        assert SUPPRESSED == SUPPRESSED
+        assert SUPPRESSED != REMOVED
+        assert SUPPRESSED != "SUPPRESSED"
+
+    def test_sentinels_hashable_and_distinct(self):
+        assert len({SUPPRESSED, REMOVED, NULL}) == 3
+
+    def test_sentinels_sort_after_regular_values(self):
+        values = [SUPPRESSED, "zzz", 10, NULL, 3.5, "aaa"]
+        ordered = sorted(values, key=sort_key)
+        regular = [v for v in ordered if not is_missing(v)]
+        sentinels = [v for v in ordered if is_missing(v)]
+        assert ordered == regular + sentinels
+        assert regular == [3.5, 10, "aaa", "zzz"]
+
+    def test_str_representation(self):
+        assert str(SUPPRESSED) == "SUPPRESSED"
+        assert repr(REMOVED) == "<REMOVED>"
+
+
+class TestValueType:
+    def test_from_name_aliases(self):
+        assert ValueType.from_name("integer") is ValueType.INT
+        assert ValueType.from_name("VARCHAR") is ValueType.TEXT
+        assert ValueType.from_name("double") is ValueType.FLOAT
+        assert ValueType.from_name("boolean") is ValueType.BOOL
+
+    def test_from_name_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            ValueType.from_name("blob")
+
+    def test_python_type(self):
+        assert ValueType.INT.python_type is int
+        assert ValueType.TEXT.python_type is str
+
+
+class TestCoerce:
+    def test_none_becomes_null(self):
+        assert coerce(None, ValueType.INT) is NULL
+
+    def test_int_coercion(self):
+        assert coerce("42", ValueType.INT) == 42
+        assert coerce(3.0, ValueType.INT) == 3
+
+    def test_non_integral_float_to_int_raises(self):
+        with pytest.raises(SchemaError):
+            coerce(3.5, ValueType.INT)
+
+    def test_float_coercion(self):
+        assert coerce("2.5", ValueType.FLOAT) == 2.5
+
+    def test_text_coercion(self):
+        assert coerce(123, ValueType.TEXT) == "123"
+        assert coerce(b"abc", ValueType.TEXT) == "abc"
+
+    def test_bool_coercion(self):
+        assert coerce("true", ValueType.BOOL) is True
+        assert coerce("no", ValueType.BOOL) is False
+        with pytest.raises(SchemaError):
+            coerce("maybe", ValueType.BOOL)
+
+    def test_sentinels_pass_through(self):
+        assert coerce(SUPPRESSED, ValueType.TEXT) is SUPPRESSED
+        assert coerce(REMOVED, ValueType.INT) is REMOVED
+
+    def test_bad_int_raises(self):
+        with pytest.raises(SchemaError):
+            coerce("not a number", ValueType.INT)
+
+
+class TestHelpers:
+    def test_is_missing(self):
+        assert is_missing(NULL)
+        assert is_missing(SUPPRESSED)
+        assert is_missing(REMOVED)
+        assert is_missing(None)
+        assert not is_missing(0)
+        assert not is_missing("")
+
+    def test_sort_key_orders_numbers_before_strings(self):
+        assert sort_key(5) < sort_key("abc")
+
+    def test_sort_key_numbers_mixed_types(self):
+        assert sort_key(1) < sort_key(2.5)
+        assert sort_key(2.5) < sort_key(3)
+
+    def test_accuracy_tagged_str(self):
+        tagged = AccuracyTagged(value="Paris", level=1, level_name="city")
+        assert "Paris" in str(tagged)
+        assert "city" in str(tagged)

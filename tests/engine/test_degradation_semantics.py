@@ -1,0 +1,180 @@
+"""End-to-end degradation semantics: the paper's §II model through the engine."""
+
+import pytest
+
+from repro.core.values import SUPPRESSED
+
+from ..conftest import build_engine
+
+PARIS = "1 Main Street, Paris"
+LYON = "2 Station Road, Lyon"
+ENSCHEDE = "3 Church Lane, Enschede"
+
+
+@pytest.fixture
+def db():
+    db = build_engine()
+    db.execute(f"INSERT INTO person (id, user_id, name, location, salary, activity) "
+               f"VALUES (1, 1, 'alice', '{PARIS}', 2500, 'work')")
+    db.execute(f"INSERT INTO person (id, user_id, name, location, salary, activity) "
+               f"VALUES (2, 2, 'bob', '{LYON}', 3100, 'travel')")
+    db.execute(f"INSERT INTO person (id, user_id, name, location, salary, activity) "
+               f"VALUES (3, 3, 'carol', '{ENSCHEDE}', 1800, 'shopping')")
+    for level in ("address", "city", "region", "country"):
+        db.execute(f"DECLARE PURPOSE {level} SET ACCURACY LEVEL {level} FOR person.location")
+    return db
+
+
+class TestTimedDegradationSteps:
+    def test_accurate_before_first_delay(self, db):
+        db.advance_time(minutes=59)
+        assert db.execute("SELECT location FROM person WHERE id = 1").rows == [(PARIS,)]
+
+    def test_city_after_one_hour(self, db):
+        db.advance_time(hours=1, seconds=1)
+        assert db.execute("SELECT location FROM person WHERE id = 1",
+                          purpose="city").rows == [("Paris",)]
+        assert db.level_histogram("person", "location") == {1: 3}
+
+    def test_region_after_one_day(self, db):
+        db.advance_time(days=1, hours=2)
+        assert db.execute("SELECT location FROM person WHERE id = 3",
+                          purpose="region").rows == [("Overijssel",)]
+
+    def test_country_after_one_month(self, db):
+        db.advance_time(days=32)
+        rows = db.execute("SELECT id, location FROM person", purpose="country").rows
+        assert dict(rows) == {1: "France", 2: "France", 3: "Netherlands"}
+
+    def test_salary_degrades_on_its_own_policy(self, db):
+        db.advance_time(days=3)
+        db.execute("DECLARE PURPOSE pay SET ACCURACY LEVEL range1000 FOR person.salary")
+        rows = db.execute("SELECT id, salary FROM person", purpose="pay").rows
+        assert dict(rows) == {1: "2000-3000", 2: "3000-4000", 3: "1000-2000"}
+
+    def test_paper_example_query(self, db):
+        """The exact query of the paper, run under its STAT purpose."""
+        db.advance_time(days=40)
+        db.execute("DECLARE PURPOSE stat SET ACCURACY LEVEL country FOR person.location, "
+                   "range1000 FOR person.salary")
+        result = db.execute(
+            "SELECT * FROM person WHERE location LIKE '%FRANCE%' AND salary = '2000-3000'",
+            purpose="stat")
+        assert len(result) == 1
+        row = result.to_dicts()[0]
+        assert row["id"] == 1 and row["location"] == "France"
+
+    def test_full_lifecycle_removes_tuples(self, db):
+        db.advance_time(days=600)
+        assert db.row_count("person") == 0
+        assert db.stats.rows_removed_by_policy == 3
+
+    def test_degradation_applies_uniformly_to_all_tuples(self, db):
+        db.advance_time(hours=2)
+        histogram = db.level_histogram("person", "location")
+        assert histogram == {1: 3}
+
+    def test_late_inserts_follow_their_own_clock(self, db):
+        db.advance_time(hours=2)   # first three rows now at city level
+        db.execute(f"INSERT INTO person (id, user_id, name, location, salary, activity) "
+                   f"VALUES (4, 4, 'dave', '{PARIS}', 2000, 'work')")
+        db.advance_time(minutes=30)
+        histogram = db.level_histogram("person", "location")
+        assert histogram == {0: 1, 1: 3}
+        # The new row is still accurate, the old ones are not.
+        assert db.execute("SELECT id FROM person", purpose="address").rows == [(4,)]
+
+
+class TestQueryAccuracySemantics:
+    def test_default_purpose_sees_only_accurate_tuples(self, db):
+        db.advance_time(hours=2)
+        db.execute(f"INSERT INTO person (id, user_id, name, location, salary, activity) "
+                   f"VALUES (4, 4, 'dave', '{PARIS}', 2000, 'work')")
+        # With no purpose (level 0 demanded), degraded tuples are not computable.
+        assert db.execute("SELECT id FROM person").rows == [(4,)]
+
+    def test_demanded_coarser_level_degrades_before_predicate(self, db):
+        # Even while data is still accurate, a country-level purpose compares
+        # against country values (f_k applied before P).
+        result = db.execute("SELECT id FROM person WHERE location = 'France'",
+                            purpose="country")
+        assert [row[0] for row in result.rows] == [1, 2]
+
+    def test_predicate_on_finer_level_than_stored_returns_nothing(self, db):
+        db.advance_time(days=2)  # stored at region level now
+        result = db.execute(f"SELECT id FROM person WHERE location = '{PARIS}'")
+        assert result.rows == []
+
+    def test_projection_shows_demanded_level_not_stored_level(self, db):
+        # Stored accurate, queried at region level.
+        result = db.execute("SELECT location FROM person WHERE id = 1", purpose="region")
+        assert result.rows == [("Ile-de-France",)]
+
+    def test_count_by_country_statistics_survive_degradation(self, db):
+        db.advance_time(days=40)
+        result = db.execute(
+            "SELECT location, COUNT(*) AS n FROM person GROUP BY location ORDER BY location",
+            purpose="country")
+        assert dict(result.rows) == {"France": 2, "Netherlands": 1}
+
+    def test_aggregate_excludes_non_computable_tuples(self, db):
+        db.advance_time(hours=2)
+        db.execute(f"INSERT INTO person (id, user_id, name, location, salary, activity) "
+                   f"VALUES (4, 4, 'dave', '{PARIS}', 2000, 'work')")
+        result = db.execute("SELECT COUNT(*) AS n FROM person", purpose="address")
+        assert result.rows[0][0] == 1
+
+    def test_stable_attributes_always_visible_at_any_purpose(self, db):
+        db.advance_time(days=40)
+        result = db.execute("SELECT id, name FROM person", purpose="country")
+        assert set(result.column("name")) == {"alice", "bob", "carol"}
+
+
+class TestUpdateSemantics:
+    def test_stable_update_allowed_after_degradation(self, db):
+        db.advance_time(days=2)
+        count = db.execute("UPDATE person SET name = 'anonymous' WHERE user_id = 1",
+                           purpose="region")
+        assert count == 1
+        assert db.execute("SELECT name FROM person WHERE user_id = 1",
+                          purpose="region").rows == [("anonymous",)]
+
+    def test_delete_uses_view_semantics(self, db):
+        db.advance_time(days=40)
+        # Delete every tuple whose degraded location is France.
+        deleted = db.execute("DELETE FROM person WHERE location = 'France'",
+                             purpose="country")
+        assert deleted == 2
+        assert db.row_count("person") == 1
+
+    def test_delete_cancels_future_degradation(self, db):
+        db.execute("DELETE FROM person WHERE id = 1")
+        assert db.scheduler.registered_count() == 2
+        db.advance_time(days=600)
+        assert db.stats.rows_removed_by_policy == 2
+
+
+class TestSuppressionAndRemoval:
+    def test_partial_policy_keeps_suppressed_tuple(self):
+        """A policy whose final state is 'country' (not removal) keeps tuples forever."""
+        from repro import AttributeLCP, InstantDB
+        from repro.core.domains import build_location_tree
+        db = InstantDB()
+        location = db.register_domain(build_location_tree())
+        db.register_policy(AttributeLCP(location, states=[0, 1, 3],
+                                        transitions=["1 h", "1 d"],
+                                        name="partial_lcp"))
+        db.execute("CREATE TABLE visits (id INT PRIMARY KEY, "
+                   "location TEXT DEGRADABLE DOMAIN location POLICY partial_lcp)")
+        db.execute(f"INSERT INTO visits VALUES (1, '{PARIS}')")
+        db.advance_time(days=400)
+        db.execute("DECLARE PURPOSE c SET ACCURACY LEVEL country FOR visits.location")
+        assert db.execute("SELECT location FROM visits", purpose="c").rows == [("France",)]
+        assert db.row_count("visits") == 1
+
+    def test_suppressed_values_visible_at_root_level(self, db):
+        # Degrade location fully but before tuple removal (salary still alive).
+        db.advance_time(days=130)
+        db.execute("DECLARE PURPOSE root SET ACCURACY LEVEL suppressed FOR person.location")
+        rows = db.execute("SELECT location FROM person", purpose="root").rows
+        assert all(value is SUPPRESSED for (value,) in rows)

@@ -1,0 +1,137 @@
+"""Index maintenance under inserts, degradation, deletes and queries."""
+
+import pytest
+
+from ..conftest import build_engine
+
+PARIS = "1 Main Street, Paris"
+LYON = "2 Station Road, Lyon"
+
+
+@pytest.fixture
+def db():
+    db = build_engine()
+    db.execute("CREATE INDEX idx_user ON person (user_id) USING hash")
+    db.execute("CREATE INDEX idx_id ON person (id) USING btree")
+    db.execute("CREATE INDEX idx_salary ON person (salary) USING btree")
+    db.execute("CREATE INDEX idx_activity ON person (activity) USING bitmap")
+    db.execute("CREATE INDEX idx_location ON person (location) USING gt")
+    for i, (location, salary, activity) in enumerate(
+            [(PARIS, 2500, "work"), (LYON, 3100, "travel"), (PARIS, 1800, "work")], start=1):
+        db.execute(
+            f"INSERT INTO person (id, user_id, name, location, salary, activity) "
+            f"VALUES ({i}, {i * 10}, 'user{i}', '{location}', {salary}, '{activity}')")
+    db.execute("DECLARE PURPOSE city SET ACCURACY LEVEL city FOR person.location")
+    db.execute("DECLARE PURPOSE country SET ACCURACY LEVEL country FOR person.location")
+    return db
+
+
+def index_of(db, name):
+    return db.catalog.table("person").indexes[name].index
+
+
+class TestIndexMaintenance:
+    def test_inserts_populate_all_indexes(self, db):
+        assert len(index_of(db, "idx_user")) == 3
+        assert len(index_of(db, "idx_salary")) == 3
+        assert len(index_of(db, "idx_activity")) == 3
+        assert len(index_of(db, "idx_location")) == 3
+
+    def test_create_index_backfills_existing_rows(self, db):
+        db.execute("CREATE INDEX idx_name ON person (name) USING btree")
+        assert len(index_of(db, "idx_name")) == 3
+
+    def test_gt_index_created_on_stable_column_rejected(self, db):
+        from repro.core.errors import CatalogError
+        with pytest.raises(CatalogError):
+            db.execute("CREATE INDEX idx_bad ON person (name) USING gt")
+
+    def test_unknown_index_method_rejected(self, db):
+        from repro.core.errors import CatalogError
+        with pytest.raises(CatalogError):
+            db.execute("CREATE INDEX idx_bad ON person (name) USING rtree")
+
+    def test_duplicate_index_name_rejected(self, db):
+        from repro.core.errors import CatalogError
+        with pytest.raises(CatalogError):
+            db.execute("CREATE INDEX idx_user ON person (user_id)")
+
+    def test_degradation_moves_gt_postings(self, db):
+        gt = index_of(db, "idx_location")
+        assert gt.level_histogram()[0] == 3
+        db.advance_time(hours=2)
+        histogram = gt.level_histogram()
+        assert histogram[0] == 0 and histogram[1] == 3
+        assert gt.search_at("Paris", 1) != []
+
+    def test_degraded_accurate_keys_leave_index_image(self, db):
+        gt = index_of(db, "idx_location")
+        db.advance_time(hours=2)
+        assert PARIS.encode() not in gt.raw_image()
+
+    def test_delete_removes_index_entries(self, db):
+        db.execute("DELETE FROM person WHERE user_id = 10")
+        assert index_of(db, "idx_user").search(10) == []
+        assert len(index_of(db, "idx_location")) == 2
+
+    def test_policy_removal_cleans_indexes(self, db):
+        db.advance_time(days=800)
+        assert db.row_count("person") == 0
+        assert len(index_of(db, "idx_user")) == 0
+        assert len(index_of(db, "idx_location")) == 0
+        assert len(index_of(db, "idx_salary")) == 0
+
+    def test_stable_update_refreshes_index(self, db):
+        db.execute("UPDATE person SET activity = 'retired' WHERE user_id = 10")
+        bitmap = index_of(db, "idx_activity")
+        assert bitmap.search("retired") != []
+        assert len(bitmap.search("work")) == 1
+
+
+class TestIndexedQueries:
+    def test_hash_index_point_lookup_used(self, db):
+        explain = db.execute("EXPLAIN SELECT * FROM person WHERE user_id = 10")
+        assert "IndexScan" in explain.rows[0][0]
+        result = db.execute("SELECT id FROM person WHERE user_id = 10")
+        assert result.rows == [(1,)]
+
+    def test_btree_range_scan_used(self, db):
+        explain = db.execute(
+            "EXPLAIN SELECT * FROM person WHERE id >= 1 AND id <= 2")
+        assert "IndexRangeScan" in explain.rows[0][0]
+        result = db.execute("SELECT id FROM person WHERE id >= 1 AND id <= 2")
+        assert sorted(row[0] for row in result.rows) == [1, 2]
+
+    def test_range_on_degradable_salary_falls_back_to_seqscan(self, db):
+        """Range predicates on degradable columns cannot use the B+-tree (the
+        stored representation changes level over time), so the planner keeps a
+        sequential scan and the answer is still correct while accurate."""
+        explain = db.execute(
+            "EXPLAIN SELECT * FROM person WHERE salary >= 2000 AND salary <= 3200")
+        assert "SeqScan" in explain.rows[0][0]
+        result = db.execute("SELECT id FROM person WHERE salary >= 2000 AND salary <= 3200")
+        assert sorted(row[0] for row in result.rows) == [1, 2]
+
+    def test_gt_index_point_lookup_at_city_level(self, db):
+        db.advance_time(hours=2)
+        explain = db.execute("EXPLAIN SELECT * FROM person WHERE location = 'Paris'",
+                             purpose="city")
+        assert "GTIndexScan" in explain.rows[0][0]
+        result = db.execute("SELECT id FROM person WHERE location = 'Paris'",
+                            purpose="city")
+        assert sorted(row[0] for row in result.rows) == [1, 3]
+
+    def test_gt_index_at_country_level_folds_finer_levels(self, db):
+        db.advance_time(hours=2)   # stored at city level
+        result = db.execute("SELECT id FROM person WHERE location = 'France'",
+                            purpose="country")
+        assert sorted(row[0] for row in result.rows) == [1, 2, 3]
+
+    def test_index_results_match_seqscan(self, db):
+        db.advance_time(hours=2)
+        indexed = db.execute("SELECT id FROM person WHERE location = 'Paris'",
+                             purpose="city").rows
+        # Force a sequential plan by querying through a fresh non-indexed predicate.
+        seq = db.execute("SELECT id FROM person WHERE location = 'Paris' AND id > 0",
+                         purpose="city").rows
+        assert sorted(indexed) == sorted(seq)

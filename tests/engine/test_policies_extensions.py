@@ -1,0 +1,112 @@
+"""Future-work extensions: per-user (paranoid) policies and event-triggered steps."""
+
+import pytest
+
+from repro import AttributeLCP, InstantDB
+from repro.core.domains import build_location_tree
+from repro.core.errors import PolicyError
+
+from ..conftest import build_engine
+
+PARIS = "1 Main Street, Paris"
+LYON = "2 Station Road, Lyon"
+
+
+class TestPerUserPolicies:
+    @pytest.fixture
+    def db(self):
+        db = InstantDB()
+        location = db.register_domain(build_location_tree())
+        db.register_policy(AttributeLCP(location,
+                                        transitions=["1 h", "1 d", "1 month", "3 months"],
+                                        name="location_lcp"))
+        from repro.core.schema import Column, TableSchema
+        schema = TableSchema("visits", [
+            Column("id", "INT", primary_key=True),
+            Column("user_id", "INT"),
+            Column("location", "TEXT", degradable=True, domain="location",
+                   policy="location_lcp"),
+        ])
+        db.create_table(schema, selector_column="user_id")
+        db.execute("DECLARE PURPOSE city SET ACCURACY LEVEL city FOR visits.location")
+        db.execute("DECLARE PURPOSE address SET ACCURACY LEVEL address FOR visits.location")
+        return db
+
+    def test_paranoid_user_degrades_faster(self, db):
+        location = db.registry.domain("location")
+        strict = AttributeLCP(location, transitions=["5 min", "30 min", "1 h", "2 h"],
+                              name="paranoid_lcp")
+        db.register_user_policy("visits", 42, {"location": strict})
+        db.execute(f"INSERT INTO visits VALUES (1, 42, '{PARIS}')")
+        db.execute(f"INSERT INTO visits VALUES (2, 7, '{LYON}')")
+        db.advance_time(minutes=10)
+        # The paranoid user's tuple is already at city level; the default one is
+        # still accurate.
+        assert db.execute("SELECT id FROM visits", purpose="address").rows == [(2,)]
+        assert db.execute("SELECT id, location FROM visits",
+                          purpose="city").rows == [(1, "Paris"), (2, "Lyon")]
+
+    def test_paranoid_tuple_disappears_earlier(self, db):
+        location = db.registry.domain("location")
+        strict = AttributeLCP(location, transitions=["5 min", "30 min", "1 h", "2 h"],
+                              name="paranoid_lcp")
+        db.register_user_policy("visits", 42, {"location": strict})
+        db.execute(f"INSERT INTO visits VALUES (1, 42, '{PARIS}')")
+        db.execute(f"INSERT INTO visits VALUES (2, 7, '{LYON}')")
+        db.advance_time(hours=5)
+        assert db.row_count("visits") == 1
+        db.advance_time(days=200)
+        assert db.row_count("visits") == 0
+
+    def test_override_requires_selector_column(self):
+        db = build_engine()
+        location = db.registry.domain("location")
+        strict = AttributeLCP(location, transitions=["5 min", "30 min", "1 h", "2 h"],
+                              name="paranoid2")
+        with pytest.raises(PolicyError):
+            db.register_user_policy("person", 42, {"location": strict})
+
+    def test_override_on_table_without_policy_rejected(self):
+        db = InstantDB()
+        db.execute("CREATE TABLE plain (id INT PRIMARY KEY, note TEXT)")
+        with pytest.raises(PolicyError):
+            db.register_user_policy("plain", 1, {})
+
+
+class TestEventTriggeredTransitions:
+    @pytest.fixture
+    def db(self):
+        db = InstantDB()
+        location = db.register_domain(build_location_tree())
+        # Address degrades to city after 1 hour; the final suppression waits for
+        # an explicit "case_closed" event (e.g. end of an investigation).
+        db.register_policy(AttributeLCP(
+            location, states=[0, 1, 4],
+            transitions=["1 h", {"event": "case_closed"}],
+            name="event_lcp"))
+        db.execute("CREATE TABLE sightings (id INT PRIMARY KEY, "
+                   "location TEXT DEGRADABLE DOMAIN location POLICY event_lcp)")
+        db.execute("DECLARE PURPOSE city SET ACCURACY LEVEL city FOR sightings.location")
+        return db
+
+    def test_event_releases_final_transition(self, db):
+        db.execute(f"INSERT INTO sightings VALUES (1, '{PARIS}')")
+        db.advance_time(days=30)
+        # Timed step ran, event step still pending.
+        assert db.execute("SELECT location FROM sightings", purpose="city").rows == [("Paris",)]
+        assert db.row_count("sightings") == 1
+        db.fire_event("case_closed")
+        assert db.row_count("sightings") == 0
+
+    def test_event_before_timed_step_does_not_skip_levels(self, db):
+        db.execute(f"INSERT INTO sightings VALUES (1, '{PARIS}')")
+        # Fire the event while the tuple is still in its first (timed) state:
+        # nothing is waiting on it yet, so nothing happens.
+        db.fire_event("case_closed")
+        assert db.row_count("sightings") == 1
+        assert db.execute("SELECT location FROM sightings").rows == [(PARIS,)]
+
+    def test_unknown_event_is_noop(self, db):
+        db.execute(f"INSERT INTO sightings VALUES (1, '{PARIS}')")
+        assert db.fire_event("unrelated_event") == []
+        assert db.row_count("sightings") == 1

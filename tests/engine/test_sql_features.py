@@ -1,0 +1,188 @@
+"""Broader SQL surface: joins, predicates, aggregates, ordering, EXPLAIN."""
+
+import pytest
+
+from repro import InstantDB
+from repro.core.values import NULL
+
+from ..conftest import build_engine
+
+PARIS = "1 Main Street, Paris"
+LYON = "2 Station Road, Lyon"
+ENSCHEDE = "3 Church Lane, Enschede"
+
+
+@pytest.fixture
+def db():
+    db = build_engine()
+    db.execute("CREATE TABLE department (id INT PRIMARY KEY, city TEXT, budget INT)")
+    db.execute("INSERT INTO department VALUES (1, 'Paris', 100), (2, 'Lyon', 50), "
+               "(3, 'Berlin', 75)")
+    rows = [
+        (1, 1, "alice", PARIS, 2500, "work"),
+        (2, 1, "bob", LYON, 3100, "travel"),
+        (3, 2, "carol", ENSCHEDE, 1800, "shopping"),
+        (4, 3, "dave", PARIS, 2200, "work"),
+        (5, 2, "erin", LYON, None, "work"),
+    ]
+    for row in rows:
+        values = ", ".join("NULL" if value is None else
+                           (f"'{value}'" if isinstance(value, str) else str(value))
+                           for value in row)
+        db.execute(f"INSERT INTO person (id, user_id, name, location, salary, activity) "
+                   f"VALUES ({values})")
+    db.execute("DECLARE PURPOSE city SET ACCURACY LEVEL city FOR person.location")
+    return db
+
+
+class TestPredicates:
+    def test_in_list(self, db):
+        result = db.execute("SELECT id FROM person WHERE id IN (1, 3, 99)")
+        assert sorted(row[0] for row in result.rows) == [1, 3]
+
+    def test_not_in_list(self, db):
+        result = db.execute("SELECT id FROM person WHERE id NOT IN (1, 2, 3, 4)")
+        assert result.column("id") == [5]
+
+    def test_between(self, db):
+        result = db.execute("SELECT id FROM person WHERE salary BETWEEN 2000 AND 3000")
+        assert sorted(row[0] for row in result.rows) == [1, 4]
+
+    def test_is_null_and_is_not_null(self, db):
+        assert db.execute("SELECT id FROM person WHERE salary IS NULL").column("id") == [5]
+        assert len(db.execute("SELECT id FROM person WHERE salary IS NOT NULL")) == 4
+
+    def test_like_case_insensitive(self, db):
+        result = db.execute("SELECT id FROM person WHERE location LIKE '%paris%'")
+        assert sorted(row[0] for row in result.rows) == [1, 4]
+
+    def test_not_like(self, db):
+        result = db.execute("SELECT id FROM person WHERE location NOT LIKE '%Paris%'")
+        assert sorted(row[0] for row in result.rows) == [2, 3, 5]
+
+    def test_or_and_parentheses(self, db):
+        result = db.execute(
+            "SELECT id FROM person WHERE (user_id = 1 OR user_id = 3) AND activity = 'work'")
+        assert sorted(row[0] for row in result.rows) == [1, 4]
+
+    def test_comparison_on_missing_value_is_false(self, db):
+        result = db.execute("SELECT id FROM person WHERE salary > 0")
+        assert 5 not in [row[0] for row in result.rows]
+
+    def test_inequality(self, db):
+        result = db.execute("SELECT id FROM person WHERE activity != 'work'")
+        assert sorted(row[0] for row in result.rows) == [2, 3]
+
+
+class TestJoins:
+    def test_inner_join_on_stable_columns(self, db):
+        result = db.execute(
+            "SELECT p.id, d.budget FROM person p JOIN department d ON p.user_id = d.id")
+        assert len(result) == 5
+        budgets = dict(result.rows)
+        assert budgets[1] == 100 and budgets[3] == 50
+
+    def test_join_with_filter_on_joined_table(self, db):
+        result = db.execute(
+            "SELECT p.name FROM person p JOIN department d ON p.user_id = d.id "
+            "WHERE d.budget > 60")
+        assert sorted(result.column("name")) == ["alice", "bob", "dave"]
+
+    def test_left_join_keeps_unmatched_rows(self, db):
+        db.execute("INSERT INTO person (id, user_id, name, location) "
+                   f"VALUES (6, 99, 'zoe', '{PARIS}')")
+        result = db.execute(
+            "SELECT p.id, d.budget FROM person p LEFT JOIN department d ON p.user_id = d.id")
+        budgets = dict(result.rows)
+        assert budgets[6] is NULL
+        assert len(result) == 6
+
+    def test_join_star_projection(self, db):
+        result = db.execute(
+            "SELECT * FROM person p JOIN department d ON p.user_id = d.id WHERE p.id = 1")
+        row = result.to_dicts()[0]
+        assert row["name"] == "alice"
+        assert row["d.city"] == "Paris"
+
+    def test_join_respects_purpose_on_base_table(self, db):
+        db.advance_time(hours=2)
+        result = db.execute(
+            "SELECT p.location, d.budget FROM person p JOIN department d ON p.user_id = d.id",
+            purpose="city")
+        assert set(result.column("location")) <= {"Paris", "Lyon", "Enschede"}
+
+
+class TestAggregatesAndOrdering:
+    def test_count_sum_avg_min_max(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) AS n, SUM(salary) AS total, AVG(salary) AS mean, "
+            "MIN(salary) AS low, MAX(salary) AS high FROM person")
+        row = result.to_dicts()[0]
+        assert row["n"] == 5
+        assert row["total"] == 2500 + 3100 + 1800 + 2200
+        assert row["mean"] == pytest.approx((2500 + 3100 + 1800 + 2200) / 4)
+        assert (row["low"], row["high"]) == (1800, 3100)
+
+    def test_count_distinct(self, db):
+        result = db.execute("SELECT COUNT(DISTINCT activity) AS kinds FROM person")
+        assert result.rows[0][0] == 3
+
+    def test_group_by_with_having(self, db):
+        result = db.execute(
+            "SELECT activity, COUNT(*) AS n FROM person GROUP BY activity HAVING n > 1")
+        assert dict(result.rows) == {"work": 3}
+
+    def test_group_by_orders_groups_deterministically(self, db):
+        first = db.execute("SELECT activity, COUNT(*) AS n FROM person GROUP BY activity")
+        second = db.execute("SELECT activity, COUNT(*) AS n FROM person GROUP BY activity")
+        assert first.rows == second.rows
+
+    def test_order_by_multiple_keys(self, db):
+        result = db.execute(
+            "SELECT activity, id FROM person ORDER BY activity ASC, id DESC")
+        assert result.rows[0][0] == "shopping" or result.rows[0][0] <= result.rows[-1][0]
+        work_ids = [row[1] for row in result.rows if row[0] == "work"]
+        assert work_ids == sorted(work_ids, reverse=True)
+
+    def test_limit_after_order(self, db):
+        result = db.execute("SELECT id FROM person ORDER BY id DESC LIMIT 2")
+        assert result.column("id") == [5, 4]
+
+    def test_aggregate_ignores_nulls(self, db):
+        result = db.execute("SELECT COUNT(salary) AS with_salary FROM person")
+        assert result.rows[0][0] == 4
+
+    def test_aggregate_on_empty_selection(self, db):
+        result = db.execute("SELECT COUNT(*) AS n, SUM(salary) AS total FROM person "
+                            "WHERE id > 100")
+        assert result.rows[0][0] == 0
+        assert result.rows[0][1] is NULL
+
+
+class TestMisc:
+    def test_explain_non_select(self, db):
+        result = db.execute("EXPLAIN DELETE FROM person WHERE id = 1")
+        assert "Delete" in result.rows[0][0]
+        # The EXPLAIN did not actually delete anything.
+        assert db.row_count("person") == 5
+
+    def test_select_alias_output_names(self, db):
+        result = db.execute("SELECT name AS who, salary AS pay FROM person WHERE id = 1")
+        assert result.columns == ["who", "pay"]
+
+    def test_order_by_unknown_column_rejected(self, db):
+        from repro.core.errors import BindingError
+        with pytest.raises(BindingError):
+            db.execute("SELECT id FROM person ORDER BY ghost")
+
+    def test_unknown_column_in_where_rejected(self, db):
+        from repro.core.errors import BindingError
+        with pytest.raises(BindingError):
+            db.execute("SELECT id FROM person WHERE ghost = 1")
+
+    def test_qualified_names_disambiguate_join_columns(self, db):
+        # Both tables have an "id" column; qualified references keep them apart.
+        result = db.execute(
+            "SELECT p.id, d.id FROM person p JOIN department d ON p.user_id = d.id "
+            "WHERE p.id = 3 AND d.id = 2")
+        assert result.rows == [(3, 2)]

@@ -1,0 +1,121 @@
+"""Transactions at the engine level: atomicity, isolation against degradation."""
+
+import pytest
+
+from repro.core.errors import TransactionAborted
+
+from ..conftest import build_engine
+
+PARIS = "1 Main Street, Paris"
+LYON = "2 Station Road, Lyon"
+
+
+@pytest.fixture
+def db():
+    db = build_engine()
+    db.execute("DECLARE PURPOSE city SET ACCURACY LEVEL city FOR person.location")
+    return db
+
+
+class TestExplicitTransactions:
+    def test_commit_makes_inserts_visible(self, db):
+        txn = db.begin()
+        db.execute(f"INSERT INTO person (id, location) VALUES (1, '{PARIS}')", txn=txn)
+        db.execute(f"INSERT INTO person (id, location) VALUES (2, '{LYON}')", txn=txn)
+        db.commit(txn)
+        assert db.row_count("person") == 2
+
+    def test_rollback_undoes_inserts_and_scheduling(self, db):
+        txn = db.begin()
+        db.execute(f"INSERT INTO person (id, location) VALUES (1, '{PARIS}')", txn=txn)
+        assert db.row_count("person") == 1
+        db.rollback(txn)
+        assert db.row_count("person") == 0
+        assert db.scheduler.registered_count() == 0
+        # No degradation ever fires for the rolled-back tuple.
+        db.advance_time(days=800)
+        assert db.stats.degradation_steps_applied == 0
+
+    def test_rolled_back_insert_not_recoverable(self, db):
+        from repro.privacy.forensic import scan_engine
+        txn = db.begin()
+        db.execute(f"INSERT INTO person (id, location) VALUES (1, '{PARIS}')", txn=txn)
+        db.rollback(txn)
+        report = scan_engine(db, [PARIS], table="person")
+        assert report.clean, report.summary()
+
+    def test_reads_within_transaction_hold_locks(self, db):
+        db.execute(f"INSERT INTO person (id, location) VALUES (1, '{PARIS}')")
+        txn = db.begin()
+        db.execute("SELECT * FROM person", txn=txn)
+        assert db.transactions.locks.locks_held(txn.txn_id) == {"person"}
+        db.commit(txn)
+        assert db.transactions.locks.locks_held(txn.txn_id) == set()
+
+    def test_writer_blocks_other_writer(self, db):
+        writer = db.begin()
+        db.execute(f"INSERT INTO person (id, location) VALUES (1, '{PARIS}')", txn=writer)
+        with pytest.raises(TransactionAborted):
+            db.execute(f"INSERT INTO person (id, location) VALUES (2, '{LYON}')")
+        db.commit(writer)
+        # After commit the implicit writer can proceed.
+        db.execute(f"INSERT INTO person (id, location) VALUES (2, '{LYON}')")
+        assert db.row_count("person") == 2
+
+    def test_reader_blocks_writer_but_not_reader(self, db):
+        db.execute(f"INSERT INTO person (id, location) VALUES (1, '{PARIS}')")
+        reader = db.begin()
+        db.execute("SELECT * FROM person", txn=reader)
+        # Another read is fine (shared locks are compatible).
+        assert len(db.execute("SELECT * FROM person")) == 1
+        # A write must wait.
+        with pytest.raises(TransactionAborted):
+            db.execute("DELETE FROM person", txn=None)
+        db.commit(reader)
+        assert db.execute("DELETE FROM person") == 1
+
+
+class TestDegradationVersusTransactions:
+    def test_degradation_defers_while_reader_holds_lock(self, db):
+        db.execute(f"INSERT INTO person (id, location) VALUES (1, '{PARIS}')")
+        reader = db.begin()
+        db.execute("SELECT * FROM person", txn=reader)
+        # The first degradation step becomes due while the reader still holds
+        # its shared lock: the step is deferred, not lost.
+        db.advance_time(hours=2)
+        assert db.stats.degradation_conflicts >= 1
+        assert db.stats.degradation_steps_applied == 0
+        db.commit(reader)
+        db.advance_time(seconds=2)
+        assert db.stats.degradation_steps_applied >= 1
+        assert db.execute("SELECT location FROM person", purpose="city").rows == [("Paris",)]
+
+    def test_degradation_runs_between_transactions(self, db):
+        db.execute(f"INSERT INTO person (id, location) VALUES (1, '{PARIS}')")
+        db.advance_time(hours=2)
+        assert db.stats.degradation_conflicts == 0
+        assert db.stats.degradation_steps_applied >= 1
+
+    def test_conflicts_recorded_in_transaction_stats(self, db):
+        db.execute(f"INSERT INTO person (id, location) VALUES (1, '{PARIS}')")
+        reader = db.begin()
+        db.execute("SELECT * FROM person", txn=reader)
+        db.advance_time(hours=2)
+        assert db.transactions.stats.reader_degrader_conflicts >= 1
+        db.commit(reader)
+
+    def test_degradation_uses_system_transactions(self, db):
+        db.execute(f"INSERT INTO person (id, location) VALUES (1, '{PARIS}')")
+        before = db.transactions.stats.system_begun
+        db.advance_time(hours=2)
+        assert db.transactions.stats.system_begun > before
+
+    def test_insert_effects_continue_after_commit(self, db):
+        """The paper: a committed insert keeps producing effects (degradation
+        steps) long after the transaction ended."""
+        txn = db.begin()
+        db.execute(f"INSERT INTO person (id, location) VALUES (1, '{PARIS}')", txn=txn)
+        db.commit(txn)
+        db.advance_time(days=40)
+        db.execute("DECLARE PURPOSE country SET ACCURACY LEVEL country FOR person.location")
+        assert db.execute("SELECT location FROM person", purpose="country").rows == [("France",)]

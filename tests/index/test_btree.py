@@ -1,0 +1,162 @@
+"""Tests for the B+-tree index, including a hypothesis model check."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_
+from repro.core.values import SUPPRESSED, sort_key
+from repro.index.btree import BPlusTreeIndex
+
+
+class TestBasicOperations:
+    def test_insert_and_search(self):
+        index = BPlusTreeIndex("idx", order=4)
+        index.insert("paris", 1)
+        index.insert("lyon", 2)
+        assert index.search("paris") == [1]
+        assert index.search("lyon") == [2]
+        assert index.search("rome") == []
+
+    def test_duplicate_keys_accumulate(self):
+        index = BPlusTreeIndex("idx", order=4)
+        index.insert("paris", 1)
+        index.insert("paris", 2)
+        index.insert("paris", 3)
+        assert index.search("paris") == [1, 2, 3]
+        assert len(index) == 3
+
+    def test_delete(self):
+        index = BPlusTreeIndex("idx", order=4)
+        index.insert("a", 1)
+        index.insert("a", 2)
+        assert index.delete("a", 1) is True
+        assert index.search("a") == [2]
+        assert index.delete("a", 99) is False
+        assert index.delete("zzz", 1) is False
+
+    def test_update_moves_entry(self):
+        index = BPlusTreeIndex("idx", order=4)
+        index.insert("1 Main Street, Paris", 7)
+        index.update("1 Main Street, Paris", "Paris", 7)
+        assert index.search("1 Main Street, Paris") == []
+        assert index.search("Paris") == [7]
+        assert index.stats.updates == 1
+
+    def test_update_missing_entry_raises(self):
+        index = BPlusTreeIndex("idx", order=4)
+        with pytest.raises(IndexError_):
+            index.update("ghost", "new", 1)
+
+    def test_minimum_order_enforced(self):
+        with pytest.raises(IndexError_):
+            BPlusTreeIndex("idx", order=2)
+
+
+class TestSplitsAndOrdering:
+    def test_many_inserts_keep_sorted_order(self):
+        index = BPlusTreeIndex("idx", order=4)
+        for value in range(200, 0, -1):
+            index.insert(value, value)
+        keys = list(index.keys())
+        assert keys == sorted(keys)
+        assert len(index) == 200
+        assert index.height > 1
+        index.verify()
+
+    def test_search_after_splits(self):
+        index = BPlusTreeIndex("idx", order=4)
+        for value in range(500):
+            index.insert(value, value * 10)
+        for probe in (0, 137, 499):
+            assert index.search(probe) == [probe * 10]
+
+    def test_mixed_types_keep_total_order(self):
+        index = BPlusTreeIndex("idx", order=4)
+        values = [3, "abc", 1.5, "zzz", True, SUPPRESSED, 42]
+        for position, value in enumerate(values):
+            index.insert(value, position)
+        keys = list(index.keys())
+        assert keys == sorted(keys, key=sort_key)
+
+    def test_rebuild_preserves_entries(self):
+        index = BPlusTreeIndex("idx", order=4)
+        for value in range(100):
+            index.insert(value % 17, value)
+        before = {key: index.search(key) for key in set(range(17))}
+        index.rebuild()
+        after = {key: index.search(key) for key in set(range(17))}
+        assert before == after
+
+
+class TestRangeSearch:
+    @pytest.fixture
+    def index(self):
+        index = BPlusTreeIndex("idx", order=4)
+        for value in range(0, 100, 10):
+            index.insert(value, value)
+        return index
+
+    def test_closed_range(self, index):
+        assert index.range_search(20, 50) == [20, 30, 40, 50]
+
+    def test_open_bounds(self, index):
+        assert index.range_search(20, 50, include_low=False) == [30, 40, 50]
+        assert index.range_search(20, 50, include_high=False) == [20, 30, 40]
+
+    def test_unbounded_low(self, index):
+        assert index.range_search(None, 30) == [0, 10, 20, 30]
+
+    def test_unbounded_high(self, index):
+        assert index.range_search(70, None) == [70, 80, 90]
+
+    def test_full_scan(self, index):
+        assert index.range_search(None, None) == list(range(0, 100, 10))
+
+    def test_empty_range(self, index):
+        assert index.range_search(41, 49) == []
+
+    def test_range_on_empty_tree(self):
+        assert BPlusTreeIndex("idx").range_search(1, 10) == []
+
+
+keys_strategy = st.integers(min_value=-1000, max_value=1000)
+
+
+class TestBTreeModelProperties:
+    @given(operations=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete"]), keys_strategy,
+                  st.integers(min_value=0, max_value=50)),
+        max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict_model(self, operations):
+        """The B+-tree behaves exactly like a dict of sets under insert/delete."""
+        index = BPlusTreeIndex("model", order=4)
+        model = {}
+        for action, key, row in operations:
+            if action == "insert":
+                index.insert(key, row)
+                model.setdefault(key, set()).add(row)
+            else:
+                expected = row in model.get(key, set())
+                assert index.delete(key, row) is expected
+                if expected:
+                    model[key].discard(row)
+                    if not model[key]:
+                        del model[key]
+        for key, rows in model.items():
+            assert index.search(key) == sorted(rows)
+        assert list(index.keys()) == sorted(model.keys())
+        index.verify()
+
+    @given(values=st.lists(keys_strategy, min_size=1, max_size=200),
+           low=keys_strategy, high=keys_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_range_search_matches_filter(self, values, low, high):
+        low, high = min(low, high), max(low, high)
+        index = BPlusTreeIndex("model", order=4)
+        for position, value in enumerate(values):
+            index.insert(value, position)
+        expected = sorted(position for position, value in enumerate(values)
+                          if low <= value <= high)
+        assert index.range_search(low, high) == expected

@@ -1,0 +1,108 @@
+"""Tests for the hash and bitmap indexes."""
+
+import pytest
+
+from repro.index.bitmap import BitmapIndex
+from repro.index.hashindex import HashIndex
+
+
+class TestHashIndex:
+    def test_insert_search_delete(self):
+        index = HashIndex("h")
+        index.insert("paris", 1)
+        index.insert("paris", 2)
+        index.insert("lyon", 3)
+        assert index.search("paris") == [1, 2]
+        assert index.delete("paris", 1)
+        assert index.search("paris") == [2]
+        assert not index.delete("paris", 99)
+        assert not index.delete("ghost", 1)
+
+    def test_duplicate_insert_is_idempotent(self):
+        index = HashIndex("h")
+        index.insert("a", 1)
+        index.insert("a", 1)
+        assert len(index) == 1
+
+    def test_update(self):
+        index = HashIndex("h")
+        index.insert("old", 5)
+        index.update("old", "new", 5)
+        assert index.search("old") == []
+        assert index.search("new") == [5]
+
+    def test_range_search_unsupported(self):
+        from repro.core.errors import IndexError_
+        with pytest.raises(IndexError_):
+            HashIndex("h").range_search(1, 2)
+
+    def test_keys_sorted(self):
+        index = HashIndex("h")
+        for key in ("b", "a", "c"):
+            index.insert(key, 1)
+        assert list(index.keys()) == ["a", "b", "c"]
+
+    def test_unhashable_keys_supported(self):
+        index = HashIndex("h")
+        index.insert(["list", "key"], 1)
+        assert index.search(["list", "key"]) == [1]
+
+    def test_raw_image_contains_keys(self):
+        index = HashIndex("h")
+        index.insert("sensitive-address", 1)
+        assert b"sensitive-address" in index.raw_image()
+
+
+class TestBitmapIndex:
+    def test_insert_search_delete(self):
+        index = BitmapIndex("b")
+        index.insert("France", 1)
+        index.insert("France", 2)
+        index.insert("Italy", 3)
+        assert index.search("France") == [1, 2]
+        assert index.delete("France", 1)
+        assert index.search("France") == [2]
+        assert not index.delete("France", 99)
+        assert not index.delete("Spain", 1)
+
+    def test_count_without_materializing(self):
+        index = BitmapIndex("b")
+        for row in range(50):
+            index.insert("France" if row % 2 else "Italy", row)
+        assert index.count("France") == 25
+        assert index.count("Italy") == 25
+        assert index.count("Spain") == 0
+
+    def test_search_any_is_bitmap_or(self):
+        index = BitmapIndex("b")
+        index.insert("France", 1)
+        index.insert("Italy", 2)
+        index.insert("Spain", 3)
+        assert index.search_any(["France", "Spain"]) == [1, 3]
+
+    def test_update_degradation_style(self):
+        index = BitmapIndex("b")
+        index.insert("Paris", 1)
+        index.insert("Paris", 2)
+        index.update("Paris", "France", 1)
+        assert index.search("Paris") == [2]
+        assert index.search("France") == [1]
+
+    def test_distinct_keys(self):
+        index = BitmapIndex("b")
+        index.insert("a", 1)
+        index.insert("b", 2)
+        index.insert("a", 3)
+        assert index.distinct_keys() == 2
+
+    def test_large_row_keys(self):
+        index = BitmapIndex("b")
+        index.insert("x", 10**6)
+        index.insert("x", 10**6 + 1)
+        assert index.search("x") == [10**6, 10**6 + 1]
+
+    def test_duplicate_insert_idempotent(self):
+        index = BitmapIndex("b")
+        index.insert("x", 1)
+        index.insert("x", 1)
+        assert len(index) == 1

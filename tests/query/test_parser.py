@@ -1,0 +1,204 @@
+"""Tests for the SQL parser, including the paper's privacy extensions."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.query import ast_nodes as ast
+from repro.query.parser import parse, parse_script
+
+
+class TestCreateTable:
+    def test_basic(self):
+        statement = parse("CREATE TABLE person (id INT PRIMARY KEY, name TEXT)")
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.table == "person"
+        assert statement.columns[0].primary_key
+        assert statement.columns[1].type_name == "TEXT"
+
+    def test_degradable_column_with_domain_and_policy(self):
+        statement = parse(
+            "CREATE TABLE person (location TEXT DEGRADABLE DOMAIN location "
+            "POLICY location_lcp, salary INT NOT NULL)"
+        )
+        location = statement.columns[0]
+        assert location.degradable and location.domain == "location"
+        assert location.policy == "location_lcp"
+        assert statement.columns[1].not_null
+
+    def test_create_index(self):
+        statement = parse("CREATE INDEX idx_loc ON person (location) USING gt")
+        assert isinstance(statement, ast.CreateIndex)
+        assert statement.method == "gt"
+        default = parse("CREATE INDEX idx_id ON person (id)")
+        assert default.method == "btree"
+
+    def test_drop_table(self):
+        statement = parse("DROP TABLE person")
+        assert isinstance(statement, ast.DropTable)
+
+
+class TestInsert:
+    def test_insert_positional(self):
+        statement = parse("INSERT INTO person VALUES (1, 'alice', 2500.5, NULL, TRUE)")
+        assert statement.columns is None
+        assert statement.rows == ((1, "alice", 2500.5, None, True),)
+
+    def test_insert_with_columns_and_multiple_rows(self):
+        statement = parse(
+            "INSERT INTO person (id, name) VALUES (1, 'a'), (2, 'b')"
+        )
+        assert statement.columns == ("id", "name")
+        assert len(statement.rows) == 2
+
+    def test_negative_number(self):
+        statement = parse("INSERT INTO t VALUES (-5)")
+        assert statement.rows == ((-5,),)
+
+    def test_missing_values_keyword(self):
+        with pytest.raises(ParseError):
+            parse("INSERT INTO t (1, 2)")
+
+
+class TestSelect:
+    def test_star(self):
+        statement = parse("SELECT * FROM person")
+        assert isinstance(statement.items[0], ast.Star)
+        assert statement.table == "person"
+
+    def test_columns_and_alias(self):
+        statement = parse("SELECT id, name AS who FROM person p")
+        assert statement.table_alias == "p"
+        assert statement.items[1].alias == "who"
+
+    def test_where_with_and_or(self):
+        statement = parse(
+            "SELECT * FROM person WHERE location LIKE '%FRANCE%' AND salary = '2000-3000'"
+        )
+        assert isinstance(statement.where, ast.BooleanOp)
+        assert statement.where.operator == "AND"
+        like = statement.where.operands[0]
+        assert isinstance(like, ast.Comparison) and like.operator == "LIKE"
+
+    def test_paper_example_query_parses(self):
+        statement = parse(
+            "SELECT * FROM PERSON WHERE LOCATION LIKE '%FRANCE%' AND SALARY = '2000-3000'"
+        )
+        assert statement.table == "PERSON"
+
+    def test_in_between_isnull_not(self):
+        statement = parse(
+            "SELECT * FROM t WHERE a IN (1, 2, 3) AND b BETWEEN 1 AND 5 "
+            "AND c IS NOT NULL AND NOT d = 1"
+        )
+        operands = statement.where.operands
+        assert isinstance(operands[0], ast.InList)
+        assert isinstance(operands[1], ast.Between)
+        assert isinstance(operands[2], ast.IsNull) and operands[2].negated
+        assert isinstance(operands[3], ast.Not)
+
+    def test_not_in_and_not_like(self):
+        statement = parse("SELECT * FROM t WHERE a NOT IN (1) AND b NOT LIKE 'x%'")
+        assert statement.where.operands[0].negated
+        assert isinstance(statement.where.operands[1], ast.Not)
+
+    def test_group_by_having_order_limit(self):
+        statement = parse(
+            "SELECT location, COUNT(*) AS n FROM person GROUP BY location "
+            "HAVING n > 2 ORDER BY location DESC LIMIT 5"
+        )
+        assert statement.group_by[0].column == "location"
+        assert statement.having is not None
+        assert statement.order_by[0].descending
+        assert statement.limit == 5
+        assert statement.is_aggregate
+
+    def test_aggregates(self):
+        statement = parse("SELECT COUNT(*), AVG(salary), MIN(p.salary) FROM person p")
+        functions = [item.expression.function for item in statement.items]
+        assert functions == ["COUNT", "AVG", "MIN"]
+        assert statement.items[0].expression.argument is None
+
+    def test_count_distinct(self):
+        statement = parse("SELECT COUNT(DISTINCT user_id) FROM person")
+        assert statement.items[0].expression.distinct
+
+    def test_join(self):
+        statement = parse(
+            "SELECT * FROM person p JOIN city c ON p.city_id = c.id WHERE c.name = 'Paris'"
+        )
+        assert len(statement.joins) == 1
+        join = statement.joins[0]
+        assert join.table == "city" and join.alias == "c"
+        assert join.left.qualified == "p.city_id"
+
+    def test_left_join(self):
+        statement = parse("SELECT * FROM a LEFT JOIN b ON a.x = b.x")
+        assert statement.joins[0].kind == "left"
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM a JOIN b ON a.x < b.x")
+
+    def test_explain(self):
+        statement = parse("EXPLAIN SELECT * FROM person")
+        assert isinstance(statement, ast.Explain)
+        assert isinstance(statement.statement, ast.Select)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM person garbage garbage garbage )")
+
+
+class TestUpdateDelete:
+    def test_update(self):
+        statement = parse("UPDATE person SET name = 'bob', salary = 100 WHERE id = 1")
+        assert statement.assignments == (("name", "bob"), ("salary", 100))
+        assert isinstance(statement.where, ast.Comparison)
+
+    def test_delete(self):
+        statement = parse("DELETE FROM person WHERE location = 'Paris'")
+        assert isinstance(statement, ast.Delete)
+        assert statement.table == "person"
+
+    def test_delete_without_where(self):
+        assert parse("DELETE FROM person").where is None
+
+
+class TestDeclarePurpose:
+    def test_paper_example(self):
+        statement = parse(
+            "DECLARE PURPOSE STAT SET ACCURACY LEVEL COUNTRY FOR P.LOCATION, "
+            "RANGE1000 FOR P.SALARY"
+        )
+        assert isinstance(statement, ast.DeclarePurpose)
+        assert statement.name == "STAT"
+        assert len(statement.clauses) == 2
+        assert statement.clauses[0].level == "COUNTRY"
+        assert statement.clauses[0].table == "p"
+        assert statement.clauses[1].column == "salary"
+
+    def test_numeric_level(self):
+        statement = parse("DECLARE PURPOSE x SET ACCURACY LEVEL 2 FOR person.location")
+        assert statement.clauses[0].level == 2
+
+    def test_unqualified_column_rejected(self):
+        with pytest.raises(ParseError):
+            parse("DECLARE PURPOSE x SET ACCURACY LEVEL city FOR location")
+
+    def test_purpose_without_clauses(self):
+        statement = parse("DECLARE PURPOSE audit")
+        assert statement.clauses == ()
+
+
+class TestScripts:
+    def test_parse_script_multiple_statements(self):
+        statements = parse_script(
+            "CREATE TABLE t (id INT); INSERT INTO t VALUES (1); SELECT * FROM t;"
+        )
+        assert [type(s).__name__ for s in statements] == [
+            "CreateTable", "Insert", "Select",
+        ]
+
+    def test_unsupported_statement(self):
+        with pytest.raises(ParseError):
+            parse("GRANT ALL TO bob")

@@ -1,0 +1,122 @@
+"""Tests for accuracy binding and access-path selection."""
+
+import pytest
+
+from repro.core.domains import build_location_tree, build_salary_ranges
+from repro.core.lcp import AttributeLCP
+from repro.core.policy import Purpose
+from repro.index.bitmap import BitmapIndex
+from repro.index.btree import BPlusTreeIndex
+from repro.index.gt_index import GTIndex
+from repro.index.hashindex import HashIndex
+from repro.core.schema import Column, TableSchema
+from repro.query.catalog import Catalog, IndexInfo
+from repro.query.parser import parse
+from repro.query.planner import Planner
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    location = catalog.registry.register_domain(build_location_tree())
+    catalog.registry.register_domain(build_salary_ranges())
+    catalog.registry.register_policy(
+        AttributeLCP(location, transitions=["1 h", "1 d", "1 month", "3 months"],
+                     name="location_lcp"))
+    schema = TableSchema("person", [
+        Column("id", "INT", primary_key=True),
+        Column("name", "TEXT"),
+        Column("location", "TEXT", degradable=True, domain="location",
+               policy="location_lcp"),
+        Column("salary", "INT"),
+    ])
+    catalog.add_table(schema)
+    catalog.add_index(IndexInfo(name="idx_id", table="person", column="id",
+                                method="hash", index=HashIndex("idx_id")))
+    catalog.add_index(IndexInfo(name="idx_salary", table="person", column="salary",
+                                method="btree", index=BPlusTreeIndex("idx_salary")))
+    catalog.add_index(IndexInfo(name="idx_loc", table="person", column="location",
+                                method="gt",
+                                index=GTIndex("idx_loc", location)))
+    return catalog
+
+
+@pytest.fixture
+def planner(catalog):
+    return Planner(catalog)
+
+
+class TestAccuracyBinding:
+    def test_default_purpose_demands_level_zero(self, planner):
+        levels = planner.demanded_levels_for("person", None)
+        assert levels == {"location": 0}
+
+    def test_purpose_levels_resolved_by_name(self, planner, catalog):
+        purpose = Purpose("stat").require("person", "location", "country")
+        levels = planner.demanded_levels_for("person", purpose)
+        assert levels == {"location": 3}
+
+    def test_plan_records_levels(self, planner):
+        purpose = Purpose("stat").require("person", "location", "city")
+        plan = planner.plan_select(parse("SELECT * FROM person"), purpose)
+        assert plan.base.demanded_levels == {"location": 1}
+        assert plan.purpose is purpose
+
+
+class TestAccessPathSelection:
+    def test_no_where_gives_seqscan(self, planner):
+        plan = planner.plan_select(parse("SELECT * FROM person"))
+        assert plan.base.access.kind == "seq"
+
+    def test_equality_on_hash_indexed_column(self, planner):
+        plan = planner.plan_select(parse("SELECT * FROM person WHERE id = 7"))
+        access = plan.base.access
+        assert access.kind == "index_eq"
+        assert access.column == "id" and access.key == 7
+
+    def test_range_on_btree_indexed_column(self, planner):
+        plan = planner.plan_select(
+            parse("SELECT * FROM person WHERE salary >= 1000 AND salary < 2000"))
+        access = plan.base.access
+        assert access.kind == "index_range"
+        assert access.low == 1000 and access.include_low
+        assert access.high == 2000 and not access.include_high
+
+    def test_between_on_btree_indexed_column(self, planner):
+        plan = planner.plan_select(
+            parse("SELECT * FROM person WHERE salary BETWEEN 1000 AND 2000"))
+        access = plan.base.access
+        assert access.kind == "index_range"
+        assert (access.low, access.high) == (1000, 2000)
+
+    def test_equality_on_degradable_column_uses_gt_index(self, planner):
+        purpose = Purpose("stat").require("person", "location", "city")
+        plan = planner.plan_select(
+            parse("SELECT * FROM person WHERE location = 'Paris'"), purpose)
+        access = plan.base.access
+        assert access.kind == "gt_level"
+        assert access.level == 1 and access.key == "Paris"
+
+    def test_unindexed_predicate_falls_back_to_seqscan(self, planner):
+        plan = planner.plan_select(parse("SELECT * FROM person WHERE name = 'alice'"))
+        assert plan.base.access.kind == "seq"
+
+    def test_or_predicate_cannot_use_index(self, planner):
+        plan = planner.plan_select(
+            parse("SELECT * FROM person WHERE id = 1 OR id = 2"))
+        assert plan.base.access.kind == "seq"
+
+    def test_reversed_literal_comparison(self, planner):
+        plan = planner.plan_select(parse("SELECT * FROM person WHERE 5 = id"))
+        assert plan.base.access.kind == "index_eq"
+        assert plan.base.access.key == 5
+
+    def test_flipped_range_operator(self, planner):
+        plan = planner.plan_select(parse("SELECT * FROM person WHERE 3000 > salary"))
+        access = plan.base.access
+        assert access.kind == "index_range"
+        assert access.high == 3000 and not access.include_high
+
+    def test_describe_mentions_access_path(self, planner):
+        plan = planner.plan_select(parse("SELECT * FROM person WHERE id = 1"))
+        assert "IndexScan" in plan.describe()

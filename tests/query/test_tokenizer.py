@@ -1,0 +1,66 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.query.tokens import TokenType, tokenize
+
+
+def kinds(sql):
+    return [token.token_type for token in tokenize(sql)]
+
+
+def values(sql):
+    return [token.value for token in tokenize(sql)[:-1]]
+
+
+class TestTokenizer:
+    def test_simple_select(self):
+        tokens = tokenize("SELECT * FROM person")
+        assert values("SELECT * FROM person") == ["SELECT", "*", "FROM", "person"]
+        assert tokens[-1].token_type is TokenType.EOF
+
+    def test_keywords_are_case_insensitive(self):
+        assert values("select foo") == ["SELECT", "foo"]
+
+    def test_identifiers_keep_case(self):
+        assert values("SELECT Location") == ["SELECT", "Location"]
+
+    def test_string_literal(self):
+        tokens = tokenize("WHERE name = 'Alice'")
+        literal = [t for t in tokens if t.token_type is TokenType.STRING][0]
+        assert literal.value == "Alice"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s fine'")
+        literal = [t for t in tokens if t.token_type is TokenType.STRING][0]
+        assert literal.value == "it's fine"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT 'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("LIMIT 10 OFFSET 2.5")
+        numbers = [t.value for t in tokens if t.token_type is TokenType.NUMBER]
+        assert numbers == ["10", "2.5"]
+
+    def test_operators(self):
+        operators = [t.value for t in tokenize("a <= 1 AND b != 2 AND c <> 3")
+                     if t.token_type is TokenType.OPERATOR]
+        assert operators == ["<=", "!=", "<>"]
+
+    def test_punctuation_and_qualified_names(self):
+        assert values("p.location") == ["p", ".", "location"]
+
+    def test_line_comment_skipped(self):
+        assert values("SELECT 1 -- this is a comment\n") == ["SELECT", "1"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @foo")
+
+    def test_like_pattern_with_percent(self):
+        tokens = tokenize("WHERE location LIKE '%FRANCE%'")
+        literal = [t for t in tokens if t.token_type is TokenType.STRING][0]
+        assert literal.value == "%FRANCE%"

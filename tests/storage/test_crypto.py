@@ -1,0 +1,101 @@
+"""Tests for the cryptographic-erasure key store."""
+
+import pytest
+
+from repro.core.errors import CryptoError, KeyDestroyedError
+from repro.storage.crypto import KeyStore
+
+
+class TestKeyLifecycle:
+    def test_create_key_is_idempotent(self):
+        store = KeyStore()
+        key_id = ("person", 1, "location", 0)
+        assert store.create_key(key_id) == store.create_key(key_id)
+        assert store.live_key_count == 1
+
+    def test_destroy_key(self):
+        store = KeyStore()
+        key_id = ("t", 1, "c", 0)
+        store.create_key(key_id)
+        assert store.destroy_key(key_id) is True
+        assert store.is_destroyed(key_id)
+        assert not store.has_key(key_id)
+        # Destroying again reports no live key.
+        assert store.destroy_key(key_id) is False
+
+    def test_destroyed_key_cannot_be_recreated(self):
+        store = KeyStore()
+        key_id = ("t", 1, "c", 0)
+        store.create_key(key_id)
+        store.destroy_key(key_id)
+        with pytest.raises(KeyDestroyedError):
+            store.create_key(key_id)
+
+    def test_destroy_matching_prefix(self):
+        store = KeyStore()
+        store.create_key(("person", 1, "location", 0))
+        store.create_key(("person", 1, "salary", 0))
+        store.create_key(("person", 2, "location", 0))
+        destroyed = store.destroy_matching(("person", 1))
+        assert destroyed == 2
+        assert store.live_key_count == 1
+
+    def test_deterministic_seed_reproducible(self):
+        a = KeyStore(deterministic_seed=b"seed")
+        b = KeyStore(deterministic_seed=b"seed")
+        assert a.create_key(("t", 1)) == b.create_key(("t", 1))
+
+
+class TestEncryption:
+    def test_roundtrip(self):
+        store = KeyStore()
+        key_id = ("person", 1, "location", 0)
+        blob = store.encrypt(key_id, b"21 rue X, Paris")
+        assert blob != b"21 rue X, Paris"
+        assert store.decrypt(key_id, blob) == b"21 rue X, Paris"
+
+    def test_ciphertext_hides_plaintext(self):
+        store = KeyStore()
+        blob = store.encrypt(("k",), b"SECRET-LOCATION-VALUE")
+        assert b"SECRET-LOCATION-VALUE" not in blob
+
+    def test_decrypt_after_destroy_raises(self):
+        store = KeyStore()
+        key_id = ("person", 1, "location", 0)
+        blob = store.encrypt(key_id, b"sensitive")
+        store.destroy_key(key_id)
+        with pytest.raises(KeyDestroyedError):
+            store.decrypt(key_id, blob)
+
+    def test_decrypt_without_key_raises(self):
+        store = KeyStore()
+        with pytest.raises(CryptoError):
+            store.decrypt(("missing",), b"x" * 20)
+
+    def test_short_ciphertext_rejected(self):
+        store = KeyStore()
+        store.create_key(("k",))
+        with pytest.raises(CryptoError):
+            store.decrypt(("k",), b"tiny")
+
+    def test_empty_plaintext_roundtrip(self):
+        store = KeyStore()
+        blob = store.encrypt(("k",), b"")
+        assert store.decrypt(("k",), blob) == b""
+
+    def test_long_plaintext_roundtrip(self):
+        store = KeyStore()
+        payload = bytes(range(256)) * 40
+        blob = store.encrypt(("k",), payload)
+        assert store.decrypt(("k",), blob) == payload
+
+    def test_stats_counters(self):
+        store = KeyStore()
+        store.encrypt(("a",), b"x")
+        store.encrypt(("b",), b"y")
+        store.decrypt(("a",), store.encrypt(("a",), b"z"))
+        store.destroy_key(("b",))
+        assert store.stats.keys_created == 2
+        assert store.stats.keys_destroyed == 1
+        assert store.stats.encryptions == 3
+        assert store.stats.decryptions == 1

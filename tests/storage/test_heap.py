@@ -1,0 +1,87 @@
+"""Tests for heap files."""
+
+import pytest
+
+from repro.core.errors import RecordNotFoundError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile, RecordId
+from repro.storage.pager import MemoryPager
+
+
+@pytest.fixture
+def heap():
+    return HeapFile(BufferPool(MemoryPager(page_size=512), capacity=8), name="t")
+
+
+class TestHeapFile:
+    def test_insert_read_roundtrip(self, heap):
+        rid = heap.insert(b"hello")
+        assert heap.read(rid) == b"hello"
+        assert heap.exists(rid)
+        assert heap.record_count == 1
+
+    def test_records_spill_to_new_pages(self, heap):
+        rids = [heap.insert(b"x" * 100) for _ in range(20)]
+        assert heap.page_count > 1
+        assert len({rid.page_id for rid in rids}) == heap.page_count
+        for rid in rids:
+            assert heap.read(rid) == b"x" * 100
+
+    def test_oversized_record_rejected(self, heap):
+        with pytest.raises(StorageError):
+            heap.insert(b"x" * 1000)
+
+    def test_delete(self, heap):
+        rid = heap.insert(b"bye")
+        heap.delete(rid)
+        assert not heap.exists(rid)
+        assert heap.record_count == 0
+        with pytest.raises(RecordNotFoundError):
+            heap.read(rid)
+
+    def test_update_in_place_keeps_record_id(self, heap):
+        rid = heap.insert(b"aaaa")
+        new_rid = heap.update(rid, b"bbbb")
+        assert new_rid == rid
+        assert heap.read(rid) == b"bbbb"
+
+    def test_update_relocates_when_page_full(self, heap):
+        rid = heap.insert(b"a" * 150)
+        heap.insert(b"b" * 150)
+        heap.insert(b"c" * 100)
+        new_rid = heap.update(rid, b"d" * 400)
+        assert heap.read(new_rid) == b"d" * 400
+        assert heap.record_count == 3
+        if new_rid != rid:
+            assert not heap.exists(rid)
+
+    def test_scan_returns_live_records_only(self, heap):
+        keep = heap.insert(b"keep")
+        victim = heap.insert(b"victim")
+        heap.delete(victim)
+        scanned = dict(heap.scan())
+        assert scanned == {keep: b"keep"}
+        assert list(heap.record_ids()) == [keep]
+
+    def test_compact_preserves_data(self, heap):
+        rids = [heap.insert(f"rec{i}".encode()) for i in range(5)]
+        heap.delete(rids[2])
+        heap.compact()
+        for i, rid in enumerate(rids):
+            if i == 2:
+                continue
+            assert heap.read(rid) == f"rec{i}".encode()
+
+    def test_raw_image_covers_all_pages(self, heap):
+        for _ in range(10):
+            heap.insert(b"y" * 120)
+        assert len(heap.raw_image()) == heap.page_count * 512
+
+    def test_exists_on_unknown_page(self, heap):
+        assert not heap.exists(RecordId(page_id=999, slot=0))
+
+    def test_flush_writes_through(self, heap):
+        rid = heap.insert(b"durable")
+        heap.flush()
+        pager = heap.buffer_pool.pager
+        assert pager.read_page(rid.page_id).read(rid.slot) == b"durable"

@@ -1,0 +1,158 @@
+"""Tests for slotted pages and secure space reclamation."""
+
+import pytest
+
+from repro.core.errors import PageFullError, RecordNotFoundError, StorageError
+from repro.storage.page import SlottedPage
+
+
+class TestBasicOperations:
+    def test_insert_and_read(self):
+        page = SlottedPage()
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+        assert page.slot_count == 1
+
+    def test_multiple_inserts_get_distinct_slots(self):
+        page = SlottedPage()
+        slots = [page.insert(f"record {i}".encode()) for i in range(10)]
+        assert slots == list(range(10))
+        for i, slot in enumerate(slots):
+            assert page.read(slot) == f"record {i}".encode()
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(StorageError):
+            SlottedPage().insert(b"")
+
+    def test_read_deleted_slot_raises(self):
+        page = SlottedPage()
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(RecordNotFoundError):
+            page.read(slot)
+
+    def test_read_out_of_range_raises(self):
+        with pytest.raises(RecordNotFoundError):
+            SlottedPage().read(0)
+
+    def test_is_live(self):
+        page = SlottedPage()
+        slot = page.insert(b"x")
+        assert page.is_live(slot)
+        page.delete(slot)
+        assert not page.is_live(slot)
+        assert not page.is_live(99)
+
+    def test_page_full(self):
+        page = SlottedPage(page_size=256)
+        with pytest.raises(PageFullError):
+            for _ in range(100):
+                page.insert(b"x" * 32)
+
+    def test_free_space_decreases(self):
+        page = SlottedPage()
+        before = page.free_space()
+        page.insert(b"x" * 100)
+        assert page.free_space() < before
+
+    def test_minimum_page_size(self):
+        with pytest.raises(StorageError):
+            SlottedPage(page_size=16)
+
+
+class TestUpdate:
+    def test_update_same_size_in_place(self):
+        page = SlottedPage()
+        slot = page.insert(b"aaaa")
+        assert page.update(slot, b"bbbb")
+        assert page.read(slot) == b"bbbb"
+
+    def test_update_shrinking(self):
+        page = SlottedPage()
+        slot = page.insert(b"a" * 100)
+        assert page.update(slot, b"b" * 10)
+        assert page.read(slot) == b"b" * 10
+
+    def test_update_growing_uses_free_space(self):
+        page = SlottedPage()
+        slot = page.insert(b"a" * 10)
+        assert page.update(slot, b"b" * 50)
+        assert page.read(slot) == b"b" * 50
+
+    def test_update_growing_without_space_returns_false(self):
+        page = SlottedPage(page_size=128)
+        slot = page.insert(b"a" * 40)
+        page.insert(b"c" * 40)
+        assert page.update(slot, b"b" * 80) is False
+        # Old record untouched when relocation is needed.
+        assert page.read(slot) == b"a" * 40
+
+    def test_update_deleted_raises(self):
+        page = SlottedPage()
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(RecordNotFoundError):
+            page.update(slot, b"y")
+
+
+class TestSecureReclamation:
+    def test_delete_zeroes_payload(self):
+        page = SlottedPage(secure=True)
+        secret = b"TOP-SECRET-ADDRESS"
+        slot = page.insert(secret)
+        assert secret in page.raw()
+        page.delete(slot)
+        assert secret not in page.raw()
+
+    def test_insecure_page_leaves_ghost(self):
+        page = SlottedPage(secure=False)
+        secret = b"TOP-SECRET-ADDRESS"
+        slot = page.insert(secret)
+        page.delete(slot)
+        assert secret in page.raw()
+
+    def test_shrinking_update_zeroes_tail(self):
+        page = SlottedPage(secure=True)
+        slot = page.insert(b"SENSITIVE-TAIL-DATA")
+        page.update(slot, b"ok")
+        assert b"TAIL-DATA" not in page.raw()
+
+    def test_growing_update_zeroes_old_copy(self):
+        page = SlottedPage(secure=True)
+        slot = page.insert(b"OLD-SECRET")
+        page.update(slot, b"N" * 64)
+        assert b"OLD-SECRET" not in page.raw()
+
+    def test_compaction_zeroes_holes_and_preserves_slots(self):
+        page = SlottedPage(secure=True)
+        keep = page.insert(b"keep-me")
+        ghost = page.insert(b"GHOST-RECORD")
+        page.insert(b"also-keep")
+        page.delete(ghost)
+        free_before = page.free_space()
+        free_after = page.compact()
+        assert free_after >= free_before
+        assert page.read(keep) == b"keep-me"
+        assert b"GHOST-RECORD" not in page.raw()
+
+
+class TestPersistence:
+    def test_to_bytes_roundtrip(self):
+        page = SlottedPage()
+        slot_a = page.insert(b"alpha")
+        slot_b = page.insert(b"beta")
+        restored = SlottedPage.from_bytes(page.to_bytes())
+        assert restored.read(slot_a) == b"alpha"
+        assert restored.read(slot_b) == b"beta"
+        assert restored.live_slots() == [slot_a, slot_b]
+
+    def test_from_bytes_validates_size(self):
+        with pytest.raises(StorageError):
+            SlottedPage(page_size=4096, data=b"short")
+
+    def test_records_listing(self):
+        page = SlottedPage()
+        page.insert(b"a")
+        slot = page.insert(b"b")
+        page.delete(slot)
+        assert page.records() == [(0, b"a")]

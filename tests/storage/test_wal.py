@@ -1,0 +1,130 @@
+"""Tests for the degradation-aware write-ahead log."""
+
+import pytest
+
+from repro.core.errors import WALError
+from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+
+
+class TestBasicProtocol:
+    def test_append_assigns_dense_lsns(self):
+        wal = WriteAheadLog()
+        first = wal.append(LogRecordType.BEGIN, txn_id=1)
+        second = wal.append(LogRecordType.COMMIT, txn_id=1)
+        assert (first.lsn, second.lsn) == (1, 2)
+        assert wal.last_lsn == 2
+        assert len(wal) == 2
+
+    def test_flush_advances_flushed_lsn(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.BEGIN, txn_id=1)
+        assert wal.flushed_lsn == 0
+        wal.flush()
+        assert wal.flushed_lsn == 1
+
+    def test_records_for(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, 1, table="person", row_key=7, after=b"img")
+        wal.append(LogRecordType.INSERT, 1, table="person", row_key=8, after=b"img")
+        wal.append(LogRecordType.DEGRADE, 0, table="person", row_key=7, attribute="loc",
+                   after=b"1")
+        assert len(wal.records_for("person", 7)) == 2
+
+    def test_degrade_record_must_not_carry_before_image(self):
+        wal = WriteAheadLog()
+        with pytest.raises(WALError):
+            wal.append(LogRecordType.DEGRADE, 0, table="t", row_key=1,
+                       attribute="loc", before=b"accurate!")
+
+    def test_record_encode_decode_roundtrip(self):
+        record = LogRecord(lsn=3, txn_id=9, record_type=LogRecordType.UPDATE,
+                           table="person", row_key=4, attribute="name",
+                           before=b"old", after=b"new", timestamp=12.5)
+        decoded = LogRecord.decode(record.encode())
+        assert decoded == record
+
+    def test_decode_malformed_rejected(self):
+        from repro.storage.serialization import encode_record
+        with pytest.raises(WALError):
+            LogRecord.decode(encode_record([1, 2, 3]))
+
+
+class TestScrubbing:
+    def test_scrub_removes_images_but_keeps_structure(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, 1, table="person", row_key=7,
+                   after=b"SENSITIVE")
+        wal.append(LogRecordType.UPDATE, 1, table="person", row_key=7,
+                   attribute="name", before=b"SENSITIVE", after=b"SENSITIVE2")
+        scrubbed = wal.scrub_record("person", 7)
+        assert scrubbed == 2
+        assert b"SENSITIVE" not in wal.raw_image()
+        # The structural records are still there plus an audit SCRUB record.
+        types = [record.record_type for record in wal]
+        assert types.count(LogRecordType.INSERT) == 1
+        assert LogRecordType.SCRUB in types
+
+    def test_scrub_untouched_rows_left_alone(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, 1, table="person", row_key=1, after=b"keep-me")
+        wal.append(LogRecordType.INSERT, 1, table="person", row_key=2, after=b"scrub-me")
+        wal.scrub_record("person", 2)
+        assert b"keep-me" in wal.raw_image()
+        assert b"scrub-me" not in wal.raw_image()
+
+    def test_scrub_nothing_matching_returns_zero(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.BEGIN, 1)
+        assert wal.scrub_record("person", 99) == 0
+        assert wal.stats.scrub_rewrites == 0
+
+
+class TestTruncation:
+    def test_truncate_until_drops_prefix(self):
+        wal = WriteAheadLog()
+        for _ in range(5):
+            wal.append(LogRecordType.BEGIN, txn_id=1)
+        dropped = wal.truncate_until(3)
+        assert dropped == 3
+        assert [record.lsn for record in wal] == [4, 5]
+
+    def test_truncate_nothing(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.BEGIN, 1)
+        assert wal.truncate_until(0) == 0
+
+
+class TestPersistence:
+    def test_reload_from_file(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(LogRecordType.BEGIN, txn_id=1)
+        wal.append(LogRecordType.INSERT, txn_id=1, table="t", row_key=1, after=b"x")
+        wal.append(LogRecordType.COMMIT, txn_id=1)
+        wal.flush()
+
+        reopened = WriteAheadLog(path)
+        assert len(reopened) == 3
+        assert reopened.last_lsn == 3
+        assert reopened.records()[1].after == b"x"
+
+    def test_torn_tail_ignored_on_reload(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(str(path))
+        wal.append(LogRecordType.BEGIN, txn_id=1)
+        wal.append(LogRecordType.COMMIT, txn_id=1)
+        wal.flush()
+        # Simulate a torn write: chop the last few bytes of the file.
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        reopened = WriteAheadLog(str(path))
+        assert len(reopened) == 1
+
+    def test_scrub_rewrites_file(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(str(path))
+        wal.append(LogRecordType.INSERT, 1, table="t", row_key=1, after=b"PLAINTEXT")
+        wal.flush()
+        assert b"PLAINTEXT" in path.read_bytes()
+        wal.scrub_record("t", 1)
+        assert b"PLAINTEXT" not in path.read_bytes()

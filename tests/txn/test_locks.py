@@ -1,0 +1,111 @@
+"""Tests for the 2PL lock manager and deadlock detection."""
+
+import pytest
+
+from repro.core.errors import DeadlockError
+from repro.txn.locks import LockManager, LockMode
+
+
+class TestCompatibility:
+    def test_shared_locks_compatible(self):
+        locks = LockManager()
+        assert locks.acquire(1, "person", LockMode.SHARED)
+        assert locks.acquire(2, "person", LockMode.SHARED)
+        assert locks.holders_of("person") == {1: LockMode.SHARED, 2: LockMode.SHARED}
+
+    def test_exclusive_blocks_shared(self):
+        locks = LockManager()
+        assert locks.acquire(1, "person", LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, "person", LockMode.SHARED)
+        assert locks.is_waiting(2)
+
+    def test_shared_blocks_exclusive(self):
+        locks = LockManager()
+        assert locks.acquire(1, "person", LockMode.SHARED)
+        assert not locks.acquire(2, "person", LockMode.EXCLUSIVE)
+
+    def test_reentrant_acquisition(self):
+        locks = LockManager()
+        assert locks.acquire(1, "person", LockMode.SHARED)
+        assert locks.acquire(1, "person", LockMode.SHARED)
+        assert locks.acquire(1, "person", LockMode.EXCLUSIVE)   # upgrade, sole holder
+        assert locks.holders_of("person")[1] is LockMode.EXCLUSIVE
+
+    def test_upgrade_blocked_by_other_reader(self):
+        locks = LockManager()
+        assert locks.acquire(1, "person", LockMode.SHARED)
+        assert locks.acquire(2, "person", LockMode.SHARED)
+        assert not locks.acquire(1, "person", LockMode.EXCLUSIVE)
+
+    def test_exclusive_holder_can_reacquire_shared(self):
+        locks = LockManager()
+        assert locks.acquire(1, "person", LockMode.EXCLUSIVE)
+        assert locks.acquire(1, "person", LockMode.SHARED)
+
+
+class TestRelease:
+    def test_release_all_unblocks_resource(self):
+        locks = LockManager()
+        locks.acquire(1, "person", LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, "person", LockMode.SHARED)
+        released = locks.release_all(1)
+        assert released == 1
+        assert locks.acquire(2, "person", LockMode.SHARED)
+
+    def test_release_clears_waits_for_edges(self):
+        locks = LockManager()
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        locks.release_all(1)
+        # 2 no longer waits on anyone.
+        assert locks.acquire(2, "a", LockMode.EXCLUSIVE)
+
+    def test_release_unknown_txn_is_noop(self):
+        assert LockManager().release_all(42) == 0
+
+    def test_locks_held(self):
+        locks = LockManager()
+        locks.acquire(1, "a", LockMode.SHARED)
+        locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        assert locks.locks_held(1) == {"a", "b"}
+        assert locks.active_lock_count() == 2
+
+
+class TestDeadlocks:
+    def test_two_transaction_cycle_detected(self):
+        locks = LockManager()
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        assert not locks.acquire(1, "b", LockMode.EXCLUSIVE)     # 1 waits for 2
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)            # 2 waits for 1 -> cycle
+        assert locks.stats.deadlocks == 1
+
+    def test_three_transaction_cycle_detected(self):
+        locks = LockManager()
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        locks.acquire(3, "c", LockMode.EXCLUSIVE)
+        assert not locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, "c", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            locks.acquire(3, "a", LockMode.EXCLUSIVE)
+
+    def test_waiting_without_cycle_is_not_deadlock(self):
+        locks = LockManager()
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        assert not locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        assert not locks.acquire(3, "a", LockMode.EXCLUSIVE)
+        assert locks.stats.deadlocks == 0
+
+    def test_victim_can_retry_after_release(self):
+        locks = LockManager()
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        # Victim releases everything; the survivor proceeds.
+        locks.release_all(2)
+        assert locks.acquire(1, "b", LockMode.EXCLUSIVE)

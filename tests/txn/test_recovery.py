@@ -1,0 +1,138 @@
+"""Tests for crash recovery: winners redone, losers undone, degradation never undone."""
+
+import pytest
+
+from repro.core.domains import build_location_tree
+from repro.core.schema import Column, TableSchema
+from repro.storage.buffer import BufferPool
+from repro.storage.degradable_store import TableStore
+from repro.storage.pager import MemoryPager
+from repro.storage.wal import LogRecordType, WriteAheadLog
+from repro.txn.recovery import RecoveryManager
+from repro.txn.transaction import TransactionManager
+
+LOCATION = build_location_tree()
+
+
+def make_schema():
+    return TableSchema("person", [
+        Column("id", "INT", primary_key=True),
+        Column("name", "TEXT"),
+        Column("location", "TEXT", degradable=True, domain="location"),
+    ])
+
+
+def make_environment():
+    wal = WriteAheadLog()
+    pool = BufferPool(MemoryPager(), capacity=16)
+    store = TableStore(make_schema(), pool, wal, strategy="rewrite")
+    manager = TransactionManager(wal)
+    return wal, store, manager
+
+
+ROW = {"id": 1, "name": "alice", "location": "1 Main Street, Paris"}
+
+
+class TestAnalysis:
+    def test_committed_and_loser_sets(self):
+        wal, store, manager = make_environment()
+        winner = manager.begin()
+        store.insert(ROW, now=0.0, txn_id=winner.txn_id)
+        manager.commit(winner)
+        loser = manager.begin()
+        store.insert({**ROW, "id": 2}, now=0.0, txn_id=loser.txn_id)
+        # Crash: no commit for the loser.
+        report = RecoveryManager(wal, {"person": store}).recover()
+        assert winner.txn_id in report.committed_txns
+        assert loser.txn_id in report.loser_txns
+
+    def test_aborted_transactions_are_not_losers(self):
+        wal, store, manager = make_environment()
+        txn = manager.begin()
+        manager.abort(txn)
+        report = RecoveryManager(wal, {"person": store}).recover()
+        assert txn.txn_id not in report.loser_txns
+
+
+class TestUndo:
+    def test_loser_insert_is_removed(self):
+        wal, store, manager = make_environment()
+        loser = manager.begin()
+        row_key = store.insert(ROW, now=0.0, txn_id=loser.txn_id)
+        report = RecoveryManager(wal, {"person": store}).recover()
+        assert report.undone_inserts == 1
+        assert not store.exists(row_key)
+        # The accurate value is also scrubbed from the log during undo.
+        assert b"1 Main Street, Paris" not in wal.raw_image()
+
+    def test_loser_stable_update_rolled_back(self):
+        wal, store, manager = make_environment()
+        winner = manager.begin()
+        row_key = store.insert(ROW, now=0.0, txn_id=winner.txn_id)
+        manager.commit(winner)
+        loser = manager.begin()
+        store.update_stable(row_key, "name", "mallory", now=1.0, txn_id=loser.txn_id)
+        report = RecoveryManager(wal, {"person": store}).recover()
+        assert report.undone_updates == 1
+        assert store.read(row_key).values["name"] == "alice"
+
+    def test_degradation_of_loser_transaction_not_undone(self):
+        wal, store, manager = make_environment()
+        winner = manager.begin()
+        row_key = store.insert(ROW, now=0.0, txn_id=winner.txn_id)
+        manager.commit(winner)
+        # Degradation runs inside a system transaction that never committed
+        # (crash right after) — it must still not be rolled back.
+        loser = manager.begin(system=True)
+        store.degrade(row_key, "location", LOCATION, to_level=1, now=3600.0,
+                      txn_id=loser.txn_id)
+        report = RecoveryManager(wal, {"person": store}).recover()
+        assert store.read(row_key).values["location"] == "Paris"
+        assert report.skipped_undos >= 1
+
+
+class TestRedo:
+    def test_committed_insert_redone_after_heap_loss(self):
+        wal, store, manager = make_environment()
+        winner = manager.begin()
+        row_key = store.insert(ROW, now=0.0, txn_id=winner.txn_id)
+        manager.commit(winner)
+        # Simulate losing the in-memory row map and the heap record.
+        store.heap.delete(store._location(row_key))
+        store._locations.clear()
+        report = RecoveryManager(wal, {"person": store}).recover()
+        assert report.redone_inserts == 1
+        assert store.read(row_key).values["name"] == "alice"
+
+    def test_committed_remove_redone(self):
+        wal, store, manager = make_environment()
+        winner = manager.begin()
+        row_key = store.insert(ROW, now=0.0, txn_id=winner.txn_id)
+        manager.commit(winner)
+        store.remove(row_key, now=5.0, scrub_log=False)
+        # Pretend the deletion page write was lost: restore the row image.
+        insert_image = [r for r in wal if r.record_type is LogRecordType.INSERT][0].after
+        store.restore_row(insert_image)
+        report = RecoveryManager(wal, {"person": store}).recover()
+        assert report.redone_removes == 1
+        assert not store.exists(row_key)
+
+    def test_lagging_degradation_reported(self):
+        wal, store, manager = make_environment()
+        winner = manager.begin()
+        row_key = store.insert(ROW, now=0.0, txn_id=winner.txn_id)
+        manager.commit(winner)
+        # Append a DEGRADE record without performing the physical degradation,
+        # as if the crash hit between WAL append and page flush.
+        from repro.storage.serialization import encode_record
+        wal.append(LogRecordType.DEGRADE, 0, table="person", row_key=row_key,
+                   attribute="location", after=encode_record([1]), timestamp=3600.0)
+        report = RecoveryManager(wal, {"person": store}).recover()
+        assert report.redone_degrades == 1
+
+    def test_unknown_table_in_log_raises(self):
+        wal, store, manager = make_environment()
+        wal.append(LogRecordType.INSERT, 1, table="ghost", row_key=1, after=b"x")
+        from repro.core.errors import RecoveryError
+        with pytest.raises(RecoveryError):
+            RecoveryManager(wal, {"person": store}).recover()
