@@ -10,9 +10,14 @@ are needed.  This example exercises the paper's future-work extensions:
 * the final suppression of psychiatric diagnoses waits for an explicit
   ``review_closed`` event rather than a timer (event-triggered transitions).
 
+Admissions are ingested through the PEP 249 driver (``repro.connect``): one
+prepared INSERT bound per event, committed in day-sized batches, and the
+reporting queries bind their predicates as ``?`` parameters.
+
 Run with:  python examples/hospital_records.py
 """
 
+import repro
 from repro import AttributeLCP, InstantDB
 from repro.core.domains import build_diagnosis_tree
 from repro.core.schema import Column, TableSchema
@@ -38,11 +43,15 @@ def main() -> None:
         Column("duration_days", "INT"),
     ])
     db.create_table(schema, selector_column="patient_id")
-    db.execute("CREATE INDEX idx_patient ON admission (patient_id) USING hash")
-    db.execute("CREATE INDEX idx_diagnosis ON admission (diagnosis) USING gt")
-    db.execute("DECLARE PURPOSE care SET ACCURACY LEVEL diagnosis FOR admission.diagnosis")
-    db.execute("DECLARE PURPOSE quality SET ACCURACY LEVEL disease_group FOR admission.diagnosis")
-    db.execute("DECLARE PURPOSE planning SET ACCURACY LEVEL specialty FOR admission.diagnosis")
+
+    conn = repro.connect(engine=db)
+    cur = conn.cursor()
+    cur.execute("CREATE INDEX idx_patient ON admission (patient_id) USING hash")
+    cur.execute("CREATE INDEX idx_diagnosis ON admission (diagnosis) USING gt")
+    cur.execute("DECLARE PURPOSE care SET ACCURACY LEVEL diagnosis FOR admission.diagnosis")
+    cur.execute("DECLARE PURPOSE quality SET ACCURACY LEVEL disease_group FOR admission.diagnosis")
+    cur.execute("DECLARE PURPOSE planning SET ACCURACY LEVEL specialty FOR admission.diagnosis")
+    conn.commit()
 
     # The paranoid patient wants their diagnoses gone much faster, and the last
     # step gated on an explicit review event.
@@ -53,20 +62,25 @@ def main() -> None:
 
     generator = AdmissionGenerator(num_patients=30, seed=17)
     events = generator.events(NUM_ADMISSIONS, interval=6 * 3600.0)
+    insert = ("INSERT INTO admission (id, patient_id, diagnosis, ward, "
+              "duration_days) VALUES (?, ?, ?, ?, ?)")
     for index, event in enumerate(events, start=1):
         db.clock.advance_to(event.timestamp)
         row = event.as_row()
-        row["id"] = index
         # Route a share of admissions to the paranoid patient so the contrast shows.
-        if index % 10 == 0:
-            row["patient_id"] = PARANOID_PATIENT
-        db.insert_row("admission", row)
+        patient = PARANOID_PATIENT if index % 10 == 0 else row["patient_id"]
+        cur.execute(insert, (index, patient, row["diagnosis"], row["ward"],
+                             row["duration_days"]))
+        if index % 4 == 0:       # commit one batch per simulated day
+            conn.commit()
+    conn.commit()
     print(f"ingested {NUM_ADMISSIONS} admissions "
           f"over {events[-1].timestamp / 86400:.1f} days")
 
     # Care teams see exact diagnoses for recent admissions.
-    recent = db.execute(
-        "SELECT COUNT(*) AS n FROM admission", purpose="care").rows[0][0]
+    recent = cur.execute("SELECT COUNT(*) AS n FROM admission",
+                         purpose="care").fetchone()[0]
+    conn.commit()
     print(f"admissions with exact diagnosis available (purpose 'care'): {recent}")
 
     # Two months later: regular patients are at disease-group level, the
@@ -74,22 +88,25 @@ def main() -> None:
     db.advance_time(days=60)
     print("\nafter 60 days:")
     for purpose in ("care", "quality", "planning"):
-        count = db.execute("SELECT COUNT(*) AS n FROM admission", purpose=purpose).rows[0][0]
+        count = cur.execute("SELECT COUNT(*) AS n FROM admission",
+                            purpose=purpose).fetchone()[0]
         print(f"  computable admissions under purpose {purpose!r}: {count}")
-    paranoid_levels = db.execute(
-        f"SELECT diagnosis, COUNT(*) AS n FROM admission "
-        f"WHERE patient_id = {PARANOID_PATIENT} GROUP BY diagnosis",
-        purpose="planning")
-    print(f"  paranoid patient's records (specialty level only): {paranoid_levels.rows}")
+    paranoid_levels = cur.execute(
+        "SELECT diagnosis, COUNT(*) AS n FROM admission "
+        "WHERE patient_id = ? GROUP BY diagnosis",
+        (PARANOID_PATIENT,), purpose="planning").fetchall()
+    conn.commit()
+    print(f"  paranoid patient's records (specialty level only): {paranoid_levels}")
 
     # Hospital planning still gets its per-specialty statistics years later.
     db.advance_time(days=300)
-    stats = db.execute(
+    stats = cur.execute(
         "SELECT diagnosis, COUNT(*) AS admissions, AVG(duration_days) AS avg_stay "
         "FROM admission GROUP BY diagnosis ORDER BY diagnosis", purpose="planning")
     print("\nper-specialty statistics after one year (purpose 'planning'):")
-    for specialty, count, avg_stay in stats.rows:
+    for specialty, count, avg_stay in stats:
         print(f"  {str(specialty):18s} admissions={count:3d} avg_stay={avg_stay:.1f} days")
+    conn.commit()
 
     # Closing the review releases the paranoid patient's final suppression.
     before = db.row_count("admission")
@@ -100,6 +117,7 @@ def main() -> None:
 
     db.advance_time(days=1200)
     print(f"after the full life cycle: {db.row_count('admission')} admissions remain")
+    conn.close()
 
 
 if __name__ == "__main__":

@@ -3,10 +3,77 @@
 Reproduction of *InstantDB: Enforcing Timely Degradation of Sensitive Data*
 (Anciaux, Bouganim, van Heerde, Pucheral, Apers — ICDE 2008).
 
-The public API is re-exported here; see :class:`repro.engine.InstantDB` for the
-engine facade and ``DESIGN.md`` for the full system inventory.
+Quickstart (the PEP 249 / DB-API 2.0 surface)
+---------------------------------------------
+The recommended entry point is :func:`repro.connect`, which returns a
+context-managed :class:`~repro.api.Connection` with cursors, qmark (``?``)
+parameter binding, prepared statements and batched ``executemany``:
+
+>>> import repro
+>>> with repro.connect() as conn:
+...     cur = conn.cursor()
+...     _ = cur.execute("CREATE TABLE person (id INT PRIMARY KEY, name TEXT)")
+...     _ = cur.executemany("INSERT INTO person VALUES (?, ?)",
+...                         [(1, 'alice'), (2, 'bob')])
+...     conn.commit()
+...     cur.execute("SELECT name FROM person WHERE id = ?", (1,)).fetchall()
+[('alice',)]
+
+Degradation-specific features (generalization domains, life cycle policies,
+purposes) are configured on the engine and scoped per connection:
+
+>>> from repro.core.domains import build_location_tree
+>>> db = repro.InstantDB()
+>>> _ = db.register_domain(build_location_tree())
+>>> _ = db.register_policy(domain="location",
+...                        transitions=["1 h", "1 day", "1 month", "3 months"])
+>>> conn = repro.connect(engine=db)      # wraps, does not own, the engine
+>>> cur = conn.cursor()
+>>> _ = cur.execute("CREATE TABLE trace (id INT PRIMARY KEY, location TEXT "
+...                 "DEGRADABLE DOMAIN location POLICY location_lcp)")
+>>> _ = cur.execute("INSERT INTO trace VALUES (?, ?)",
+...                 (1, '1 Main Street, Paris'))
+>>> conn.commit()
+>>> _ = cur.execute("DECLARE PURPOSE stats SET ACCURACY LEVEL city "
+...                 "FOR trace.location")
+>>> _ = db.advance_time(hours=2)         # the address degrades to city level
+>>> conn.set_purpose("stats")
+>>> cur.execute("SELECT location FROM trace", ).fetchall()
+[('Paris',)]
+
+Compatibility shim
+------------------
+The original single-call facade — ``InstantDB.execute(sql)`` returning a
+:class:`~repro.query.executor.QueryResult` / rowcount — is kept as a thin
+shim over the same prepared-statement path and now also accepts ``params=``.
+It is intended for scripts and the benchmark harness; new code should prefer
+``connect()``, and the facade may be deprecated once the driver API has
+settled.
+
+The PEP 249 module globals (``apilevel``, ``threadsafety``, ``paramstyle``)
+and exception hierarchy (:class:`Error`, :class:`InterfaceError`,
+:class:`DatabaseError`, :class:`OperationalError`, :class:`IntegrityError`,
+...) are re-exported here; see ``DESIGN.md`` for the full system inventory.
 """
 
+from .api import (
+    Connection,
+    Cursor,
+    DatabaseError,
+    DataError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    Warning,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
 from .core import (
     DAY,
     HOUR,
@@ -35,9 +102,27 @@ from .core import (
 from .engine import InstantDB
 from .query.executor import QueryResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # PEP 249 driver surface
+    "connect",
+    "Connection",
+    "Cursor",
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+    # engine facade and core model
     "InstantDB",
     "QueryResult",
     "GeneralizationScheme",

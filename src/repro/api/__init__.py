@@ -1,0 +1,47 @@
+"""``repro.api`` — the PEP 249 (DB-API 2.0) driver surface.
+
+>>> import repro
+>>> conn = repro.connect()
+>>> cur = conn.cursor()
+>>> cur.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")   # doctest: +ELLIPSIS
+<repro.api.connection.Cursor object at ...>
+>>> cur.executemany("INSERT INTO t VALUES (?, ?)", [(1, 'a'), (2, 'b')]).rowcount
+2
+>>> conn.commit()
+>>> cur.execute("SELECT name FROM t WHERE id = ?", (2,)).fetchone()
+('b',)
+>>> conn.close()
+
+The module exposes the standard globals (``apilevel``, ``threadsafety``,
+``paramstyle``) and the PEP 249 exception hierarchy, which is woven into the
+library's own :class:`~repro.core.errors.InstantDBError` subsystem hierarchy.
+"""
+
+from ..core.errors import (
+    DatabaseError,
+    DataError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    Warning,
+)
+from .connection import (
+    Connection,
+    Cursor,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
+
+__all__ = [
+    "connect", "Connection", "Cursor",
+    "apilevel", "threadsafety", "paramstyle",
+    "Warning", "Error", "InterfaceError", "DatabaseError", "DataError",
+    "OperationalError", "IntegrityError", "InternalError",
+    "ProgrammingError", "NotSupportedError",
+]

@@ -1,0 +1,310 @@
+"""PEP 249 (DB-API 2.0) Connection and Cursor over the InstantDB engine.
+
+The driver layers the standard connect/cursor/transaction protocol on top of
+:class:`~repro.engine.database.InstantDB`:
+
+* a :class:`Connection` owns (at most) one open engine transaction at a time,
+  begun lazily by the first statement and ended by :meth:`Connection.commit`
+  or :meth:`Connection.rollback` — the PEP 249 implicit-transaction model;
+* a connection is *purpose-scoped*: the paper's query purposes (which decide
+  the accuracy level degradable columns are observed at) default from the
+  connection and can be overridden per statement;
+* a :class:`Cursor` executes statements with qmark (``?``) parameter binding
+  through the engine's prepared-statement cache, so ``executemany`` parses
+  and plans once, binds N times, and commits once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import InterfaceError, NotSupportedError, ProgrammingError
+from ..core.policy import Purpose
+from ..engine.database import InstantDB
+from ..query import ast_nodes as ast
+from ..query.executor import QueryResult
+from ..txn.transaction import Transaction, TransactionState
+
+#: PEP 249 module globals (re-exported by :mod:`repro.api` and :mod:`repro`).
+apilevel = "2.0"
+threadsafety = 1          # threads may share the module, but not connections
+paramstyle = "qmark"
+
+PurposeSpec = Union[None, str, Purpose]
+
+
+def connect(data_dir: Optional[str] = None, *,
+            engine: Optional[InstantDB] = None,
+            purpose: PurposeSpec = None,
+            **engine_kwargs: Any) -> "Connection":
+    """Open a PEP 249 connection to an InstantDB engine.
+
+    ``connect()`` creates a fresh in-memory engine; ``connect("/path")``
+    persists pages and WAL under that directory.  Pass ``engine=`` to wrap an
+    already-configured :class:`InstantDB` (domains and policies registered
+    through its Python API) — the connection then does *not* close the engine
+    when it is closed.  ``purpose`` sets the connection's default query
+    purpose; any :class:`InstantDB` constructor keyword is forwarded.
+    """
+    if engine is not None and (data_dir is not None or engine_kwargs):
+        raise InterfaceError("pass either engine= or engine constructor "
+                             "arguments, not both")
+    owns_engine = engine is None
+    if engine is None:
+        engine = InstantDB(data_dir=data_dir, **engine_kwargs)
+    return Connection(engine, purpose=purpose, owns_engine=owns_engine)
+
+
+class Connection:
+    """A PEP 249 connection owning one implicit engine transaction."""
+
+    def __init__(self, engine: InstantDB, purpose: PurposeSpec = None,
+                 owns_engine: bool = True) -> None:
+        self._engine = engine
+        self._purpose = purpose
+        self._owns_engine = owns_engine
+        self._txn: Optional[Transaction] = None
+        self._closed = False
+
+    # -- engine access -------------------------------------------------------
+
+    @property
+    def engine(self) -> InstantDB:
+        """The underlying engine, for non-SQL surface (domains, clock, ...)."""
+        return self._engine
+
+    @property
+    def purpose(self) -> PurposeSpec:
+        return self._purpose
+
+    def set_purpose(self, purpose: PurposeSpec) -> None:
+        """Change the connection's default query purpose."""
+        self._purpose = purpose
+
+    # -- transaction protocol ------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    def _transaction(self) -> Transaction:
+        """The connection's open transaction, begun lazily."""
+        self._check_open()
+        self._prune_dead_txn()
+        if self._txn is None:
+            self._txn = self._engine.begin()
+        return self._txn
+
+    def _prune_dead_txn(self) -> None:
+        # The engine aborts the active transaction itself on lock conflicts
+        # and deadlocks; drop our reference so the next statement starts fresh.
+        if self._txn is not None and self._txn.state is not TransactionState.ACTIVE:
+            self._txn = None
+
+    @property
+    def in_transaction(self) -> bool:
+        self._prune_dead_txn()
+        return self._txn is not None
+
+    def commit(self) -> None:
+        """Commit the open transaction (no-op when nothing is pending)."""
+        self._check_open()
+        self._prune_dead_txn()
+        if self._txn is not None:
+            self._engine.commit(self._txn)
+            self._txn = None
+
+    def rollback(self) -> None:
+        """Roll back the open transaction (no-op when nothing is pending)."""
+        self._check_open()
+        self._prune_dead_txn()
+        if self._txn is not None:
+            self._engine.rollback(self._txn)
+            self._txn = None
+
+    def close(self) -> None:
+        """Roll back any pending transaction and close the connection.
+
+        When the connection created its engine (plain ``connect(...)``), the
+        engine is checkpointed and closed too; a connection wrapping a caller
+        supplied ``engine=`` leaves it running.
+        """
+        if self._closed:
+            return
+        try:
+            self.rollback()
+        finally:
+            self._closed = True
+            if self._owns_engine:
+                self._engine.close()
+
+    def __enter__(self) -> "Connection":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
+        finally:
+            self.close()
+
+    # -- cursors -------------------------------------------------------------
+
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, params: Sequence[Any] = (), *,
+                purpose: PurposeSpec = None) -> "Cursor":
+        """Shortcut: create a cursor and execute one statement on it."""
+        cursor = self.cursor()
+        return cursor.execute(sql, params, purpose=purpose)
+
+    def executemany(self, sql: str,
+                    seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
+        """Shortcut: create a cursor and run a batched execution on it."""
+        cursor = self.cursor()
+        return cursor.executemany(sql, seq_of_params)
+
+
+class Cursor:
+    """A PEP 249 cursor: statement execution plus result-set traversal."""
+
+    def __init__(self, connection: Connection) -> None:
+        self.connection = connection
+        self.arraysize = 1
+        self._closed = False
+        self._reset()
+
+    def _reset(self) -> None:
+        self.description: Optional[List[Tuple]] = None
+        self.rowcount: int = -1
+        self.lastrowid: Optional[int] = None
+        self._rows: List[Tuple[Any, ...]] = []
+        self._position = 0
+        self._has_result_set = False
+
+    def _check(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self.connection._check_open()
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = (), *,
+                purpose: PurposeSpec = None) -> "Cursor":
+        """Execute one statement, binding qmark (``?``) parameters.
+
+        Runs inside the connection's implicit transaction; remember to
+        :meth:`Connection.commit`.  Returns the cursor itself so calls chain
+        (``for row in cur.execute(...)``).
+        """
+        self._check()
+        engine = self.connection._engine
+        result = engine.execute(
+            sql, purpose=self._resolve_purpose(purpose),
+            txn=self.connection._transaction(), params=params,
+        )
+        self._ingest(result)
+        return self
+
+    def executemany(self, sql: str,
+                    seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
+        """Execute ``sql`` once per parameter sequence (DML only).
+
+        The statement is prepared once and bound N times, all inside the
+        connection's single open transaction — the batch fast path.
+        """
+        self._check()
+        engine = self.connection._engine
+        prepared = engine.prepare(sql)
+        if isinstance(prepared.statement, (ast.Select, ast.Explain)):
+            raise NotSupportedError("executemany() cannot produce result sets; "
+                                    "use execute() for queries")
+        total = engine.executemany(sql, seq_of_params,
+                                   txn=self.connection._transaction())
+        self._reset()
+        self.rowcount = total
+        return self
+
+    def _resolve_purpose(self, purpose: PurposeSpec) -> PurposeSpec:
+        return purpose if purpose is not None else self.connection._purpose
+
+    def _ingest(self, result: Any) -> None:
+        self._reset()
+        if isinstance(result, QueryResult):
+            self.description = [
+                (name, None, None, None, None, None, None)
+                for name in result.columns
+            ]
+            self._rows = list(result.rows)
+            self._has_result_set = True
+        elif isinstance(result, int):
+            self.rowcount = result
+
+    # -- result-set traversal --------------------------------------------------
+
+    def _require_result_set(self) -> None:
+        if not self._has_result_set:
+            raise ProgrammingError("no result set: the previous statement was "
+                                   "not a query (or nothing was executed)")
+
+    def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        self._check()
+        self._require_result_set()
+        if self._position >= len(self._rows):
+            return None
+        row = self._rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        self._check()
+        self._require_result_set()
+        if size is None:
+            size = self.arraysize
+        rows = self._rows[self._position:self._position + size]
+        self._position += len(rows)
+        return rows
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        self._check()
+        self._require_result_set()
+        rows = self._rows[self._position:]
+        self._position = len(self._rows)
+        return rows
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return self
+
+    def __next__(self) -> Tuple[Any, ...]:
+        row = self.fetchone()
+        if row is None:
+            raise StopIteration
+        return row
+
+    # -- PEP 249 no-ops --------------------------------------------------------
+
+    def setinputsizes(self, sizes: Sequence[Any]) -> None:
+        """PEP 249 mandated no-op."""
+
+    def setoutputsize(self, size: int, column: Optional[int] = None) -> None:
+        """PEP 249 mandated no-op."""
+
+    def close(self) -> None:
+        self._closed = True
+        self._rows = []
+
+    def __enter__(self) -> "Cursor":
+        self._check()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+__all__ = ["connect", "Connection", "Cursor", "apilevel", "threadsafety",
+           "paramstyle"]

@@ -1,22 +1,86 @@
 """Exception hierarchy for the InstantDB reproduction.
 
-Every error raised by the library derives from :class:`InstantDBError` so that
-callers can catch library failures with a single ``except`` clause while still
-being able to discriminate the subsystem that failed.
+Two hierarchies are woven together here:
+
+* the **DB-API 2.0 (PEP 249)** classes — :class:`Warning`, :class:`Error`,
+  :class:`InterfaceError`, :class:`DatabaseError` and its five standard
+  subclasses — which driver-level callers (``repro.connect()`` /
+  :class:`~repro.api.Connection`) are expected to catch;
+* the library's **subsystem hierarchy** rooted at :class:`InstantDBError`,
+  which discriminates *which* component failed (storage, policy, query
+  front-end, transactions...).
+
+Every subsystem error multiply inherits from both roots, so legacy callers
+catching :class:`InstantDBError` (or a specific subsystem error) keep working
+while PEP 249 clients can uniformly write ``except repro.DatabaseError``.
+For example :class:`ParseError` is both a :class:`QueryError` and a
+:class:`ProgrammingError`, and :class:`DeadlockError` is both a
+:class:`TransactionError` and an :class:`OperationalError`.
 """
 
 from __future__ import annotations
 
 
-class InstantDBError(Exception):
+# ---------------------------------------------------------------- PEP 249 roots
+
+
+class Warning(Exception):  # noqa: A001 - name mandated by PEP 249
+    """Important warnings (data truncated on insert, ...) — PEP 249."""
+
+
+class Error(Exception):
+    """Base class of all PEP 249 error exceptions."""
+
+
+class InterfaceError(Error):
+    """Error related to the database *interface* rather than the database
+    itself (operation on a closed cursor, unbindable parameter value, ...)."""
+
+
+class DatabaseError(Error):
+    """Error related to the database itself."""
+
+
+class DataError(DatabaseError):
+    """Problem with the processed data (value out of domain, bad cast, ...)."""
+
+
+class OperationalError(DatabaseError):
+    """Error related to the database's operation, not necessarily under the
+    programmer's control (lost storage, lock timeout, crash recovery, ...)."""
+
+
+class IntegrityError(DatabaseError):
+    """The relational integrity of the database is affected (constraint or
+    life-cycle-policy violation)."""
+
+
+class InternalError(DatabaseError):
+    """The database encountered an internal error (corrupt page, invalid
+    degradation state, ...)."""
+
+
+class ProgrammingError(DatabaseError):
+    """Programming error: table not found, SQL syntax error, wrong number of
+    parameters, ..."""
+
+
+class NotSupportedError(DatabaseError):
+    """A method or API was used which is not supported by the engine."""
+
+
+# ------------------------------------------------------------ subsystem errors
+
+
+class InstantDBError(Error):
     """Base class of every exception raised by the library."""
 
 
-class ConfigurationError(InstantDBError):
+class ConfigurationError(InstantDBError, ProgrammingError):
     """A component was configured inconsistently (bad policy, bad schema...)."""
 
 
-class GeneralizationError(InstantDBError):
+class GeneralizationError(InstantDBError, DataError):
     """A generalization tree is malformed or a value cannot be generalized."""
 
 
@@ -24,7 +88,7 @@ class UnknownValueError(GeneralizationError):
     """A value does not belong to the domain covered by a generalization tree."""
 
 
-class PolicyError(InstantDBError):
+class PolicyError(InstantDBError, IntegrityError):
     """A life cycle policy is malformed or violated."""
 
 
@@ -32,15 +96,15 @@ class IrreversibilityError(PolicyError):
     """An operation attempted to move data towards a *more* accurate state."""
 
 
-class SchemaError(InstantDBError):
+class SchemaError(InstantDBError, ProgrammingError):
     """Table or domain schema violation."""
 
 
-class CatalogError(InstantDBError):
+class CatalogError(InstantDBError, ProgrammingError):
     """Unknown table, column, domain, policy or purpose."""
 
 
-class StorageError(InstantDBError):
+class StorageError(InstantDBError, OperationalError):
     """Low level storage failure (page, heap file, buffer pool...)."""
 
 
@@ -64,12 +128,12 @@ class KeyDestroyedError(CryptoError):
     """Data was requested whose encryption key has been destroyed (degraded)."""
 
 
-class IndexError_(InstantDBError):
+class IndexError_(InstantDBError, InternalError):
     """Index structure violation (named with a trailing underscore to avoid
     shadowing the builtin :class:`IndexError`)."""
 
 
-class TransactionError(InstantDBError):
+class TransactionError(InstantDBError, OperationalError):
     """Transaction protocol violation."""
 
 
@@ -85,7 +149,7 @@ class LockTimeoutError(TransactionError):
     """A lock could not be acquired within the configured timeout."""
 
 
-class QueryError(InstantDBError):
+class QueryError(InstantDBError, ProgrammingError):
     """SQL front-end failure."""
 
 
@@ -97,6 +161,16 @@ class BindingError(QueryError):
     """Name resolution / accuracy-level binding failure."""
 
 
+class ParameterError(InstantDBError, InterfaceError, ProgrammingError):
+    """Statement parameters do not match the statement's placeholders
+    (wrong count, unsupported Python type, unbound placeholder).
+
+    PEP 249 files wrong-parameter-count under :class:`ProgrammingError` while
+    drivers conventionally raise :class:`InterfaceError` for unbindable value
+    types, so this error is catchable as either (and hence also as
+    :class:`DatabaseError`)."""
+
+
 class ExecutionError(QueryError):
     """Runtime failure while executing a query plan."""
 
@@ -105,9 +179,17 @@ class AccuracyError(QueryError):
     """A query demanded an accuracy level that is not computable."""
 
 
-class DegradationError(InstantDBError):
+class DegradationError(InstantDBError, OperationalError):
     """The degradation engine failed to apply a scheduled step."""
 
 
-class RecoveryError(InstantDBError):
+class RecoveryError(InstantDBError, OperationalError):
     """Crash recovery failed or would resurrect degraded data."""
+
+
+#: The PEP 249 names re-exported by :mod:`repro` and :mod:`repro.api`.
+PEP249_EXCEPTIONS = (
+    "Warning", "Error", "InterfaceError", "DatabaseError", "DataError",
+    "OperationalError", "IntegrityError", "InternalError", "ProgrammingError",
+    "NotSupportedError",
+)

@@ -23,8 +23,8 @@ Example
 ...            "location TEXT DEGRADABLE DOMAIN location POLICY location_lcp)")
 >>> db.execute("INSERT INTO person VALUES (1, 'alice', '1 Main Street, Paris')")
 1
->>> db.advance_time(hours=2)          # the address degrades to city level
->>> db.execute("DECLARE PURPOSE stats SET ACCURACY LEVEL city FOR person.location")
+>>> _ = db.advance_time(hours=2)      # the address degrades to city level
+>>> _ = db.execute("DECLARE PURPOSE stats SET ACCURACY LEVEL city FOR person.location")
 >>> db.execute("SELECT location FROM person", purpose="stats").rows
 [('Paris',)]
 """
@@ -41,6 +41,7 @@ from ..core.errors import (
     ConfigurationError,
     DeadlockError,
     ExecutionError,
+    ParameterError,
     PolicyError,
     TransactionAborted,
 )
@@ -54,8 +55,10 @@ from ..index.gt_index import GTIndex
 from ..query import ast_nodes as ast
 from ..query.catalog import Catalog, IndexInfo
 from ..query.executor import Executor, QueryResult, ROW_KEY_FIELD
-from ..query.parser import parse, parse_script
+from ..query.parameters import count_placeholders
+from ..query.parser import parse_script
 from ..query.planner import Planner
+from ..query.prepared import PreparedStatement, StatementCache
 from ..storage.buffer import BufferPool
 from ..storage.crypto import KeyStore
 from ..storage.degradable_store import TableStore
@@ -112,6 +115,7 @@ class InstantDB:
         self._tuple_lcps: Dict[Tuple[str, int], TupleLCP] = {}
         self.executor = Executor(self.catalog, self._store_for)
         self.planner = Planner(self.catalog)
+        self.statements = StatementCache(capacity=256)
         self.daemon = DegradationDaemon(
             self.clock, self.scheduler, applier=self._apply_degradation_step,
             on_complete=self._on_record_final,
@@ -232,15 +236,63 @@ class InstantDB:
 
     # ------------------------------------------------------------------ SQL entry point
 
-    def execute(self, sql: str, purpose: Union[None, str, Purpose] = None,
-                txn: Optional[Transaction] = None) -> Any:
-        """Execute one SQL statement.
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse ``sql`` once and cache it keyed on its exact text.
 
-        Returns a :class:`QueryResult` for SELECT/EXPLAIN, the number of
-        affected rows for DML, and ``None`` for DDL.
+        The returned :class:`PreparedStatement` can be bound with qmark
+        (``?``) parameters arbitrarily many times; parameter-free SELECTs
+        also reuse their query plan across executions.
         """
-        statement = parse(sql)
-        return self.execute_statement(statement, purpose=purpose, txn=txn)
+        return self.statements.get_or_parse(sql)
+
+    def execute(self, sql: str, purpose: Union[None, str, Purpose] = None,
+                txn: Optional[Transaction] = None,
+                params: Optional[Sequence[Any]] = None) -> Any:
+        """Execute one SQL statement, optionally binding qmark parameters.
+
+        This is the legacy facade kept for compatibility; new code should
+        prefer :func:`repro.connect` and the PEP 249 Connection/Cursor API,
+        which delegates to the same prepared-statement path.  Returns a
+        :class:`QueryResult` for SELECT/EXPLAIN, the number of affected rows
+        for DML, and ``None`` for DDL.
+        """
+        prepared = self.prepare(sql)
+        statement = prepared.bind(params)
+        prepared.executions += 1
+        return self.execute_statement(statement, purpose=purpose, txn=txn,
+                                      prepared=prepared)
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]],
+                    purpose: Union[None, str, Purpose] = None,
+                    txn: Optional[Transaction] = None) -> int:
+        """Execute ``sql`` once per parameter sequence inside one transaction.
+
+        The statement is parsed (and, when applicable, planned) exactly once;
+        each parameter sequence is bound against the cached tree.  Running the
+        whole batch in a single transaction means one lock acquisition and one
+        durable WAL flush instead of N — the batch-insert fast path.  Returns
+        the total number of affected rows.
+        """
+        prepared = self.prepare(sql)
+        now = self.clock.now()
+        own_txn = txn is None
+        active = txn or self.transactions.begin(now=now)
+        total = 0
+        try:
+            for params in seq_of_params:
+                statement = prepared.bind(params)
+                prepared.executions += 1
+                result = self.execute_statement(statement, purpose=purpose,
+                                                txn=active, prepared=prepared)
+                if isinstance(result, int):
+                    total += result
+        except BaseException:
+            if own_txn and self.transactions.is_active(active.txn_id):
+                self.transactions.abort(active, now=self.clock.now())
+            raise
+        if own_txn:
+            self.transactions.commit(active, now=self.clock.now())
+        return total
 
     def execute_script(self, sql: str, purpose: Union[None, str, Purpose] = None) -> List[Any]:
         """Execute a semicolon separated list of statements."""
@@ -251,13 +303,21 @@ class InstantDB:
 
     def execute_statement(self, statement: ast.Statement,
                           purpose: Union[None, str, Purpose] = None,
-                          txn: Optional[Transaction] = None) -> Any:
+                          txn: Optional[Transaction] = None,
+                          prepared: Optional[PreparedStatement] = None) -> Any:
         self.stats.statements_executed += 1
+        # Statements arriving outside the prepare/bind path (execute_script,
+        # direct calls) must not smuggle unbound placeholders into storage.
+        if prepared is None and count_placeholders(statement) > 0:
+            raise ParameterError(
+                "statement contains unbound '?' placeholders; use "
+                "execute(sql, params=...) or a Cursor to bind them"
+            )
         resolved = self._resolve_purpose(purpose)
         if isinstance(statement, ast.Explain):
             return self._execute_explain(statement, resolved)
         if isinstance(statement, ast.Select):
-            return self._execute_select(statement, resolved, txn)
+            return self._execute_select(statement, resolved, txn, prepared)
         if isinstance(statement, ast.Insert):
             return self._execute_insert(statement, txn)
         if isinstance(statement, ast.Update):
@@ -290,17 +350,41 @@ class InstantDB:
             return purpose
         return self.catalog.purpose(purpose)
 
+    def _purpose_is_canonical(self, purpose: Optional[Purpose]) -> bool:
+        """Whether cached plans may be keyed on this purpose.
+
+        Plans are cached per purpose *name*, so only the purpose object the
+        catalog itself resolves that name to is eligible; an ad-hoc
+        :class:`Purpose` instance passed directly to ``execute`` may demand
+        different accuracy levels under the same name and must be re-planned.
+        """
+        if purpose is None:
+            return True
+        return self.catalog.has_purpose(purpose.name) and \
+            self.catalog.purpose(purpose.name) is purpose
+
     # ------------------------------------------------------------------ SELECT / EXPLAIN
 
     def _execute_select(self, statement: ast.Select, purpose: Optional[Purpose],
-                        txn: Optional[Transaction]) -> QueryResult:
+                        txn: Optional[Transaction],
+                        prepared: Optional[PreparedStatement] = None) -> QueryResult:
         own_txn = txn is None
         active = txn or self.transactions.begin(now=self.clock.now())
         try:
             self._locked(active, statement.table, exclusive=False)
             for clause in statement.joins:
                 self._locked(active, clause.table, exclusive=False)
-            result = self.executor.execute_select(statement, purpose)
+            plan = None
+            cacheable = prepared is not None and self._purpose_is_canonical(purpose)
+            if cacheable:
+                plan = prepared.cached_plan(purpose, self.catalog.version)
+                self.statements.stats.plan_hits += plan is not None
+                self.statements.stats.plan_misses += plan is None
+            if plan is None:
+                plan = self.planner.plan_select(statement, purpose)
+                if cacheable:
+                    prepared.store_plan(purpose, self.catalog.version, plan)
+            result = self.executor.execute_plan(plan)
         except BaseException:
             if own_txn and self.transactions.is_active(active.txn_id):
                 self.transactions.abort(active, now=self.clock.now())

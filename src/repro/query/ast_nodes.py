@@ -27,6 +27,19 @@ class Literal(Expression):
 
 
 @dataclass(frozen=True)
+class Placeholder(Expression):
+    """A ``?`` qmark parameter (PEP 249); ``index`` is its 0-based position.
+
+    Placeholders appear both as expressions (``WHERE salary > ?``) and as raw
+    values inside :class:`Insert` rows, :class:`InList` values and
+    :class:`Update` assignments.  They must be substituted through
+    :func:`repro.query.parameters.bind_parameters` before execution.
+    """
+
+    index: int
+
+
+@dataclass(frozen=True)
 class ColumnRef(Expression):
     column: str
     table: Optional[str] = None
@@ -225,7 +238,7 @@ class Explain(Statement):
 
 
 __all__ = [
-    "Expression", "Literal", "ColumnRef", "Comparison", "InList", "Between",
+    "Expression", "Literal", "Placeholder", "ColumnRef", "Comparison", "InList", "Between",
     "IsNull", "BooleanOp", "Not", "Aggregate", "SelectItem", "Star",
     "OrderItem", "JoinClause", "Statement", "ColumnDefinition", "CreateTable",
     "CreateIndex", "Insert", "Select", "Update", "Delete", "AccuracyClause",

@@ -53,6 +53,9 @@ class Catalog:
         self.registry = registry or PolicyRegistry()
         self._tables: Dict[str, TableInfo] = {}
         self._purposes: Dict[str, Purpose] = {}
+        #: Bumped on every metadata change; cached query plans are only valid
+        #: for the version they were built against.
+        self.version = 0
 
     # -- tables ----------------------------------------------------------------
 
@@ -62,13 +65,16 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         info = TableInfo(schema=schema, policy=policy)
         self._tables[name] = info
+        self.version += 1
         return info
 
     def drop_table(self, name: str) -> TableInfo:
         try:
-            return self._tables.pop(name.lower())
+            info = self._tables.pop(name.lower())
         except KeyError:
             raise CatalogError(f"unknown table {name!r}") from None
+        self.version += 1
+        return info
 
     def table(self, name: str) -> TableInfo:
         try:
@@ -90,6 +96,7 @@ class Catalog:
             raise CatalogError(f"index {info.name!r} already exists on {info.table!r}")
         table.schema.column(info.column)   # validates the column exists
         table.indexes[info.name] = info
+        self.version += 1
 
     def index(self, table: str, name: str) -> IndexInfo:
         info = self.table(table).indexes.get(name)
@@ -104,6 +111,7 @@ class Catalog:
         if not replace and key in self._purposes:
             raise CatalogError(f"purpose {purpose.name!r} already declared")
         self._purposes[key] = purpose
+        self.version += 1
         return purpose
 
     def purpose(self, name: str) -> Purpose:

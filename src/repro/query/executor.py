@@ -14,7 +14,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from ..core.errors import BindingError, ExecutionError
+from ..core.errors import BindingError, ExecutionError, ParameterError
 from ..core.policy import Purpose
 from ..core.values import NULL, SUPPRESSED, is_missing, sort_key
 from ..index.gt_index import GTIndex
@@ -346,6 +346,11 @@ class Executor:
     def _evaluate(self, expression: ast.Expression, row: Dict[str, Any]) -> Any:
         if isinstance(expression, ast.Literal):
             return expression.value
+        if isinstance(expression, ast.Placeholder):
+            raise ParameterError(
+                "statement has unbound '?' placeholders; pass params= "
+                "(or use a Cursor) to bind them"
+            )
         if isinstance(expression, ast.ColumnRef):
             return self._lookup(expression, row)
         if isinstance(expression, ast.Comparison):

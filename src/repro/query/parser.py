@@ -163,6 +163,9 @@ def _parse_insert(stream: TokenStream) -> ast.Insert:
 
 def _parse_literal_value(stream: TokenStream) -> Any:
     token = stream.peek()
+    if token.token_type is TokenType.PUNCTUATION and token.value == "?":
+        stream.advance()
+        return ast.Placeholder(stream.next_placeholder_index())
     if token.token_type is TokenType.STRING:
         stream.advance()
         return token.value
@@ -460,6 +463,9 @@ def _parse_predicate(stream: TokenStream) -> ast.Expression:
 
 def _parse_operand(stream: TokenStream) -> ast.Expression:
     token = stream.peek()
+    if token.token_type is TokenType.PUNCTUATION and token.value == "?":
+        stream.advance()
+        return ast.Placeholder(stream.next_placeholder_index())
     if token.token_type in (TokenType.STRING, TokenType.NUMBER) or \
             token.matches_keyword("NULL", "TRUE", "FALSE") or \
             (token.token_type is TokenType.OPERATOR and token.value == "-"):

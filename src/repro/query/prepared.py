@@ -1,0 +1,116 @@
+"""Prepared statements and the engine's statement cache.
+
+Parsing is the dominant per-statement cost of the SQL front-end, so the
+engine keeps an LRU cache of parsed statements keyed on the exact SQL text.
+A :class:`PreparedStatement` is immutable once parsed: binding parameters
+(:meth:`PreparedStatement.bind`) rebuilds the AST with literals substituted
+and never mutates the cached tree, so one prepared statement can safely be
+bound N times inside ``executemany``.
+
+Parameter-free ``SELECT`` statements additionally cache their query *plan*
+per (purpose, catalog version): repeated identical queries — the common shape
+of the OLTP benchmark mixes — skip accuracy binding and access-path selection
+entirely.  A catalog change (new table, index or purpose) bumps the catalog
+version and implicitly invalidates every cached plan.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..core.policy import Purpose
+from . import ast_nodes as ast
+from .parameters import bind_parameters, count_placeholders
+from .parser import parse
+from .planner import SelectPlan
+
+
+@dataclass
+class PreparedStatement:
+    """One parsed statement plus its binding/plan-reuse metadata."""
+
+    sql: str
+    statement: ast.Statement
+    param_count: int
+    executions: int = 0
+    #: (purpose name, catalog version) -> plan; only used when param_count == 0.
+    _plans: Dict[Tuple[Optional[str], int], SelectPlan] = field(default_factory=dict)
+
+    def bind(self, params: Optional[Sequence[Any]] = None) -> ast.Statement:
+        """Return an executable statement with ``params`` substituted."""
+        if params is None:
+            params = ()
+        if self.param_count == 0 and not params:
+            return self.statement
+        return bind_parameters(self.statement, params, expected=self.param_count)
+
+    # -- plan reuse ----------------------------------------------------------
+
+    def cached_plan(self, purpose: Optional[Purpose],
+                    catalog_version: int) -> Optional[SelectPlan]:
+        if self.param_count != 0:
+            return None
+        return self._plans.get((_purpose_key(purpose), catalog_version))
+
+    def store_plan(self, purpose: Optional[Purpose], catalog_version: int,
+                   plan: SelectPlan) -> None:
+        if self.param_count != 0:
+            return
+        # Plans from stale catalog versions can never be reused again.
+        for key in [key for key in self._plans if key[1] != catalog_version]:
+            del self._plans[key]
+        self._plans[(_purpose_key(purpose), catalog_version)] = plan
+
+
+def _purpose_key(purpose: Optional[Purpose]) -> Optional[str]:
+    return None if purpose is None else purpose.name.lower()
+
+
+@dataclass
+class StatementCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+
+
+class StatementCache:
+    """LRU cache of :class:`PreparedStatement` objects keyed on SQL text."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, PreparedStatement]" = OrderedDict()
+        self.stats = StatementCacheStats()
+
+    def get_or_parse(self, sql: str) -> PreparedStatement:
+        prepared = self._entries.get(sql)
+        if prepared is not None:
+            self._entries.move_to_end(sql)
+            self.stats.hits += 1
+            return prepared
+        statement = parse(sql)
+        prepared = PreparedStatement(
+            sql=sql, statement=statement,
+            param_count=count_placeholders(statement),
+        )
+        self._entries[sql] = prepared
+        self.stats.misses += 1
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return prepared
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, sql: str) -> bool:
+        return sql in self._entries
+
+
+__all__ = ["PreparedStatement", "StatementCache", "StatementCacheStats"]

@@ -3,7 +3,8 @@
 A hand written tokenizer for the SQL subset the engine supports, including the
 paper's ``DECLARE PURPOSE ... SET ACCURACY LEVEL ... FOR ...`` extension.  The
 tokenizer is deliberately small: identifiers, keywords, numeric and string
-literals, operators and punctuation.
+literals, operators and punctuation.  ``?`` is tokenized as punctuation and
+parsed into a qmark parameter placeholder (PEP 249 ``paramstyle = "qmark"``).
 """
 
 from __future__ import annotations
@@ -50,7 +51,7 @@ class Token:
 
 
 _OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "*", "+", "-", "/")
-_PUNCTUATION = "(),.;"
+_PUNCTUATION = "(),.;?"
 
 
 def tokenize(sql: str) -> List[Token]:
@@ -131,6 +132,14 @@ class TokenStream:
     def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._index = 0
+        #: Number of ``?`` placeholders handed out so far (qmark numbering).
+        self.placeholder_count = 0
+
+    def next_placeholder_index(self) -> int:
+        """Allocate the next 0-based qmark placeholder index."""
+        index = self.placeholder_count
+        self.placeholder_count += 1
+        return index
 
     def peek(self, offset: int = 0) -> Token:
         index = min(self._index + offset, len(self._tokens) - 1)

@@ -1,0 +1,1 @@
+"""Tests of the PEP 249 driver surface (`repro.connect`)."""

@@ -1,0 +1,194 @@
+"""PEP 249 Connection/Cursor surface: protocol, transactions, purposes."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import InstantDB, connect
+from repro.api import Connection, Cursor
+
+from ..conftest import build_engine
+
+
+@pytest.fixture
+def conn():
+    connection = connect()
+    yield connection
+    connection.close()
+
+
+def make_table(connection):
+    cur = connection.cursor()
+    cur.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+    return cur
+
+
+class TestModuleGlobals:
+    def test_pep249_globals(self):
+        assert repro.apilevel == "2.0"
+        assert repro.paramstyle == "qmark"
+        assert isinstance(repro.threadsafety, int)
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.DatabaseError, repro.Error)
+        assert issubclass(repro.InterfaceError, repro.Error)
+        for name in ("DataError", "OperationalError", "IntegrityError",
+                     "InternalError", "ProgrammingError", "NotSupportedError"):
+            assert issubclass(getattr(repro, name), repro.DatabaseError)
+
+    def test_subsystem_errors_are_pep249_errors(self):
+        from repro.core.errors import (CatalogError, InstantDBError,
+                                       ParseError, TransactionAborted)
+        assert issubclass(InstantDBError, repro.Error)
+        assert issubclass(ParseError, repro.ProgrammingError)
+        assert issubclass(CatalogError, repro.ProgrammingError)
+        assert issubclass(TransactionAborted, repro.OperationalError)
+
+    def test_legacy_catch_still_works(self, conn):
+        from repro.core.errors import CatalogError
+        with pytest.raises(CatalogError):
+            conn.cursor().execute("SELECT * FROM nosuch")
+        with pytest.raises(repro.ProgrammingError):
+            conn.cursor().execute("SELECT * FROM nosuch")
+
+
+class TestCursorBasics:
+    def test_execute_returns_cursor_and_fetches(self, conn):
+        cur = make_table(conn)
+        cur.execute("INSERT INTO t VALUES (?, ?)", (1, "a"))
+        cur.execute("INSERT INTO t VALUES (?, ?)", (2, "b"))
+        rows = cur.execute("SELECT id, name FROM t ORDER BY id").fetchall()
+        assert rows == [(1, "a"), (2, "b")]
+
+    def test_description_and_rowcount(self, conn):
+        cur = make_table(conn)
+        assert cur.description is None          # DDL: no result set
+        cur.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert cur.rowcount == 2
+        assert cur.description is None
+        cur.execute("SELECT id, name FROM t")
+        assert [entry[0] for entry in cur.description] == ["id", "name"]
+        assert all(len(entry) == 7 for entry in cur.description)
+        assert cur.rowcount == -1               # PEP 249: unknown for SELECT
+
+    def test_fetchone_fetchmany_exhaustion(self, conn):
+        cur = make_table(conn)
+        cur.executemany("INSERT INTO t VALUES (?, ?)",
+                        [(i, f"n{i}") for i in range(5)])
+        cur.execute("SELECT id FROM t ORDER BY id")
+        assert cur.fetchone() == (0,)
+        assert cur.fetchmany(2) == [(1,), (2,)]
+        cur.arraysize = 10
+        assert cur.fetchmany() == [(3,), (4,)]
+        assert cur.fetchone() is None
+        assert cur.fetchall() == []
+
+    def test_iteration(self, conn):
+        cur = make_table(conn)
+        cur.executemany("INSERT INTO t VALUES (?, ?)", [(1, "a"), (2, "b")])
+        assert [row for row in cur.execute("SELECT id FROM t ORDER BY id")] == \
+            [(1,), (2,)]
+
+    def test_fetch_without_result_set_raises(self, conn):
+        cur = conn.cursor()
+        with pytest.raises(repro.ProgrammingError):
+            cur.fetchall()
+        make_table(conn)
+        cur.execute("INSERT INTO t VALUES (1, 'a')")
+        with pytest.raises(repro.ProgrammingError):
+            cur.fetchone()
+
+    def test_executemany_rejects_select(self, conn):
+        make_table(conn)
+        with pytest.raises(repro.NotSupportedError):
+            conn.cursor().executemany("SELECT * FROM t", [()])
+
+    def test_closed_cursor_and_connection_raise(self):
+        connection = connect()
+        cur = connection.cursor()
+        cur.close()
+        with pytest.raises(repro.InterfaceError):
+            cur.execute("SELECT 1")
+        connection.close()
+        with pytest.raises(repro.InterfaceError):
+            connection.cursor()
+        connection.close()                      # idempotent
+
+
+class TestTransactions:
+    def test_rollback_discards_inserts(self, conn):
+        cur = make_table(conn)
+        conn.commit()
+        cur.executemany("INSERT INTO t VALUES (?, ?)", [(1, "a"), (2, "b")])
+        assert conn.in_transaction
+        conn.rollback()
+        assert not conn.in_transaction
+        assert cur.execute("SELECT * FROM t").fetchall() == []
+
+    def test_commit_persists(self, conn):
+        cur = make_table(conn)
+        cur.execute("INSERT INTO t VALUES (1, 'a')")
+        conn.commit()
+        conn.rollback()                         # no-op: nothing pending
+        assert len(cur.execute("SELECT * FROM t").fetchall()) == 1
+
+    def test_context_manager_commits_on_success(self):
+        db = InstantDB()
+        with connect(engine=db) as connection:
+            connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            connection.execute("INSERT INTO t VALUES (?)", (1,))
+        # the wrapped engine survives the connection and saw the commit
+        assert db.execute("SELECT COUNT(*) AS n FROM t").rows == [(1,)]
+
+    def test_context_manager_rolls_back_on_error(self):
+        db = InstantDB()
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        with pytest.raises(RuntimeError):
+            with connect(engine=db) as connection:
+                connection.execute("INSERT INTO t VALUES (?)", (1,))
+                raise RuntimeError("boom")
+        assert db.execute("SELECT COUNT(*) AS n FROM t").rows == [(0,)]
+
+    def test_batch_runs_in_single_engine_transaction(self, conn):
+        cur = make_table(conn)
+        conn.commit()
+        engine = conn.engine
+        begun_before = engine.transactions.stats.begun
+        cur.executemany("INSERT INTO t VALUES (?, ?)",
+                        [(i, "x") for i in range(50)])
+        conn.commit()
+        assert engine.transactions.stats.begun == begun_before + 1
+
+
+class TestPurposeScoping:
+    def test_connection_purpose_controls_accuracy(self):
+        db = build_engine()
+        db.execute("DECLARE PURPOSE stats SET ACCURACY LEVEL city "
+                   "FOR person.location")
+        conn = connect(engine=db, purpose="stats")
+        cur = conn.cursor()
+        cur.execute("INSERT INTO person (id, location) VALUES (?, ?)",
+                    (1, "1 Main Street, Paris"))
+        conn.commit()
+        db.advance_time(hours=2)                # address degrades to city
+        assert cur.execute("SELECT location FROM person").fetchall() == \
+            [("Paris",)]
+        # per-statement override back to the conservative default: the tuple
+        # is no longer computable at level 0, so it vanishes from the result
+        assert cur.execute("SELECT location FROM person",
+                           purpose=db.purpose("stats")).fetchall() == [("Paris",)]
+        conn.set_purpose(None)
+        assert cur.execute("SELECT location FROM person").fetchall() == []
+        conn.close()
+        assert db.tables()                      # wrapped engine left open
+
+    def test_engine_kwargs_conflict_rejected(self):
+        db = InstantDB()
+        with pytest.raises(repro.InterfaceError):
+            connect(engine=db, strategy="rewrite")
+
+
+def test_connection_and_cursor_types(conn):
+    assert isinstance(conn, Connection)
+    assert isinstance(conn.cursor(), Cursor)

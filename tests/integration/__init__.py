@@ -1,0 +1,1 @@
+"""Test package (packaged so `from ..conftest import build_engine` resolves)."""
