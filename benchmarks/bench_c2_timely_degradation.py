@@ -117,8 +117,11 @@ def test_c2_log_overhead(benchmark, strategy):
                  ("record images scrubbed", scrubbed_records),
                  ("records in log", live_records)])
     if strategy == "rewrite":
-        # The rewrite strategy must scrub the accurate insert images.
-        assert scrub_rewrites >= 80
+        # The rewrite strategy must scrub the accurate insert images, but the
+        # batched pipeline pays one log rewrite per degradation batch, not one
+        # per step.
+        assert scrubbed_records >= 80
+        assert 1 <= scrub_rewrites <= 8
     else:
         # Crypto-erasure never rewrites the log for degradation steps.
         assert scrub_rewrites == 0

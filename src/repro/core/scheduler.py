@@ -2,14 +2,26 @@
 
 The scheduler tracks, for every live record, the next due degradation step of
 each of its degradable attributes.  Steps are kept in a priority queue ordered
-by due time; :meth:`DegradationScheduler.run_due` pops every step whose due
-time has passed and hands it to an *applier* callback (provided by the engine)
-which performs the physical degradation in the store, the indexes and the log.
+by due time and can be drained in two ways:
+
+* step-at-a-time — :meth:`DegradationScheduler.run_due` pops every step whose
+  due time has passed and hands it to an *applier* callback (provided by the
+  engine) which performs the physical degradation in the store, the indexes
+  and the log;
+* batched — :meth:`DegradationScheduler.due_batches` pops due steps grouped
+  by a key (the table name for engine record ids) and
+  :meth:`DegradationScheduler.run_due_batched` hands each group to a *batch
+  applier* so the engine can amortize one system transaction, one exclusive
+  lock and one durable WAL flush over the whole group.  ``max_batch`` bounds
+  how many steps are popped per round so a huge backlog (a day's worth of
+  inserts expiring in one wave) drains incrementally instead of holding one
+  giant lock.
 
 The scheduler also supports the paper's future-work extensions:
 
 * event-triggered transitions — :meth:`fire_event` releases steps waiting on a
-  named event;
+  named event; timed steps that follow an event transition are scheduled
+  relative to the moment the event fired;
 * per-tuple policies — each record is registered with its own
   :class:`~repro.core.lcp.TupleLCP`, so different tuples may follow different
   automata.
@@ -26,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .errors import DegradationError
-from .lcp import NEVER, AttributeLCP, TupleLCP
+from .lcp import NEVER, TupleLCP
 
 
 @dataclass(frozen=True)
@@ -85,6 +97,9 @@ class _Registration:
     tuple_lcp: TupleLCP
     inserted_at: float
     current_states: Dict[str, int]
+    #: When each attribute entered its current state (scheduled time, not wall
+    #: time, so catch-up after a long pause keeps the original cadence).
+    entered_at: Dict[str, float] = field(default_factory=dict)
     #: Attributes currently blocked on a named event.
     waiting_on: Dict[str, str] = field(default_factory=dict)
 
@@ -94,13 +109,55 @@ class _Registration:
             for name, lcp in self.tuple_lcp.attributes.items()
         )
 
+    def pending_step_count(self) -> int:
+        """Pending next steps: one per attribute with a scheduled or waiting
+        transition (infinite-delay transitions are never scheduled)."""
+        count = 0
+        for name, lcp in self.tuple_lcp.attributes.items():
+            state = self.current_states[name]
+            if state + 1 >= lcp.num_states:
+                continue
+            if name in self.waiting_on:
+                count += 1
+                continue
+            transition = lcp.transitions[state]
+            if transition.timed and float(transition.delay) != NEVER:
+                count += 1
+        return count
+
 
 #: Applier callback: receives the step and must perform the physical
 #: degradation; it returns True on success (False aborts rescheduling).
 StepApplier = Callable[[DegradationStep], bool]
 
+#: Batch applier callback: receives a group key (the table name for engine
+#: record ids) and that group's due steps; returns the steps that were applied
+#: successfully (steps it dropped or deferred are simply not returned).
+BatchApplier = Callable[[Any, List[DegradationStep]], List[DegradationStep]]
+
 #: Callback invoked when a record reaches its final tuple state.
 CompletionCallback = Callable[[Any], None]
+
+#: Grouping callback mapping a due step to its batch key.
+GroupKey = Callable[[DegradationStep], Any]
+
+
+def _default_group_key(step: DegradationStep) -> Any:
+    """Engine record ids are ``(table, row_key)`` tuples: group by table."""
+    if isinstance(step.record_id, tuple) and step.record_id:
+        return step.record_id[0]
+    return None
+
+
+@dataclass
+class DegradationBatch:
+    """Due steps sharing one group key, drained together."""
+
+    key: Any
+    steps: List[DegradationStep] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
 
 
 class DegradationScheduler:
@@ -129,17 +186,35 @@ class DegradationScheduler:
             tuple_lcp=tuple_lcp,
             inserted_at=inserted_at,
             current_states={name: 0 for name in tuple_lcp.attributes},
+            entered_at={name: inserted_at for name in tuple_lcp.attributes},
         )
         self._registrations[record_id] = registration
         for attribute in tuple_lcp.attributes:
             self._schedule_next(registration, attribute)
 
-    def cancel(self, record_id: Any) -> None:
-        """Stop tracking ``record_id`` (explicit delete).  Pending heap entries
-        become stale and are skipped lazily when popped."""
-        if record_id in self._registrations:
-            del self._registrations[record_id]
-            self.stats.steps_cancelled += 1
+    def cancel(self, record_id: Any) -> int:
+        """Stop tracking ``record_id`` (explicit delete).
+
+        Returns the number of pending steps cancelled (one per attribute that
+        had not reached its final state).  Pending heap entries become stale
+        and are skipped lazily when popped; event-waiter entries are purged
+        eagerly so cancelled records do not leak in ``_event_waiters``.
+        """
+        registration = self._registrations.pop(record_id, None)
+        if registration is None:
+            return 0
+        cancelled = registration.pending_step_count()
+        for attribute, event in registration.waiting_on.items():
+            waiters = self._event_waiters.get(event)
+            if not waiters:
+                continue
+            remaining = [entry for entry in waiters if entry != (record_id, attribute)]
+            if remaining:
+                self._event_waiters[event] = remaining
+            else:
+                del self._event_waiters[event]
+        self.stats.steps_cancelled += cancelled
+        return cancelled
 
     def is_registered(self, record_id: Any) -> bool:
         return record_id in self._registrations
@@ -166,8 +241,10 @@ class DegradationScheduler:
             return
         transition = lcp.transitions[state]
         if transition.timed:
-            entry_times = lcp.entry_times()
-            due = registration.inserted_at + entry_times[state + 1]
+            # Relative to when the current state was entered, so timed steps
+            # that follow an event transition fire `delay` after the event.
+            due = registration.entered_at.get(attribute, registration.inserted_at) \
+                + float(transition.delay)
             if due == NEVER:
                 return
             step = DegradationStep(
@@ -255,6 +332,57 @@ class DegradationScheduler:
             steps.append(step)
         return steps
 
+    def due_batches(self, now: float, max_batch: Optional[int] = None,
+                    group_key: Optional[GroupKey] = None) -> List[DegradationBatch]:
+        """Pop due steps grouped by key (table name for engine record ids).
+
+        At most ``max_batch`` steps are popped per call (``None`` = no bound);
+        the remainder stays queued so callers drain huge backlogs in bounded
+        chunks.  Batches preserve first-seen key order and, within a batch,
+        due order.
+        """
+        if group_key is None:
+            group_key = _default_group_key
+        grouped: Dict[Any, DegradationBatch] = {}
+        batches: List[DegradationBatch] = []
+        popped = 0
+        while self._heap and self._heap[0][0] <= now:
+            if max_batch is not None and popped >= max_batch:
+                break
+            _due, _seq, step = heapq.heappop(self._heap)
+            registration = self._registrations.get(step.record_id)
+            if registration is None:
+                continue
+            if registration.current_states.get(step.attribute) != step.from_state:
+                continue
+            key = group_key(step)
+            batch = grouped.get(key)
+            if batch is None:
+                batch = DegradationBatch(key=key)
+                grouped[key] = batch
+                batches.append(batch)
+            batch.steps.append(step)
+            popped += 1
+        return batches
+
+    def _mark_applied(self, step: DegradationStep, now: float,
+                      applied: List[DegradationStep],
+                      on_complete: Optional[CompletionCallback]) -> None:
+        """Book-keeping after an applier reported ``step`` as done."""
+        registration = self._registrations.get(step.record_id)
+        if registration is None:
+            return
+        registration.current_states[step.attribute] = step.to_state
+        registration.entered_at[step.attribute] = step.due
+        self.stats.record_lag(max(0.0, now - step.due))
+        applied.append(step)
+        self._schedule_next(registration, step.attribute)
+        if registration.is_final():
+            self.stats.records_completed += 1
+            del self._registrations[step.record_id]
+            if on_complete is not None:
+                on_complete(step.record_id)
+
     def run_due(self, now: float, applier: StepApplier,
                 on_complete: Optional[CompletionCallback] = None) -> List[DegradationStep]:
         """Apply every due step through ``applier`` and schedule follow-ups.
@@ -276,15 +404,29 @@ class DegradationScheduler:
                     continue
                 if not applier(step):
                     continue
-                registration.current_states[step.attribute] = step.to_state
-                self.stats.record_lag(max(0.0, now - step.due))
-                applied.append(step)
-                self._schedule_next(registration, step.attribute)
-                if registration.is_final():
-                    self.stats.records_completed += 1
-                    del self._registrations[step.record_id]
-                    if on_complete is not None:
-                        on_complete(step.record_id)
+                self._mark_applied(step, now, applied, on_complete)
+        return applied
+
+    def run_due_batched(self, now: float, applier: BatchApplier,
+                        on_complete: Optional[CompletionCallback] = None,
+                        max_batch: Optional[int] = None,
+                        group_key: Optional[GroupKey] = None) -> List[DegradationStep]:
+        """Drain due steps through a batch applier, group by group.
+
+        Each :class:`DegradationBatch` is handed to ``applier`` whole; the
+        applier returns the steps it actually applied (deferring or dropping
+        the rest).  Follow-up steps released by an applied batch (next timed
+        transitions already overdue during catch-up) are drained in subsequent
+        rounds until nothing is due.
+        """
+        applied: List[DegradationStep] = []
+        while True:
+            batches = self.due_batches(now, max_batch=max_batch, group_key=group_key)
+            if not batches:
+                break
+            for batch in batches:
+                for step in applier(batch.key, batch.steps):
+                    self._mark_applied(step, now, applied, on_complete)
         return applied
 
     def pending_count(self) -> int:
@@ -299,6 +441,24 @@ class DegradationScheduler:
             count += 1
         return count
 
+    def overdue_count(self, now: float) -> int:
+        """Number of non-stale steps due at or before ``now`` (O(n) scan).
 
-__all__ = ["DegradationStep", "DegradationScheduler", "SchedulerStats",
-           "StepApplier", "CompletionCallback"]
+        This is the public backlog measure the daemon reports; it never pops
+        or applies anything.
+        """
+        count = 0
+        for due, _seq, step in self._heap:
+            if due > now:
+                continue
+            registration = self._registrations.get(step.record_id)
+            if registration is None:
+                continue
+            if registration.current_states.get(step.attribute) != step.from_state:
+                continue
+            count += 1
+        return count
+
+
+__all__ = ["DegradationStep", "DegradationBatch", "DegradationScheduler",
+           "SchedulerStats", "StepApplier", "BatchApplier", "CompletionCallback"]

@@ -8,7 +8,27 @@ storage mutations, *timely*.  It can be driven in two ways:
 * polled explicitly through :meth:`DegradationDaemon.run_pending`, which is
   what a wall-clock deployment would call from a background thread or timer.
 
-The daemon delegates the physical work to the engine-provided applier and
+Two application pipelines exist:
+
+* **batched** (the default when the engine provides a ``batch_applier``) —
+  due steps are drained through
+  :meth:`~repro.core.scheduler.DegradationScheduler.run_due_batched`, grouped
+  per table, so a mass-expiry wave pays one system transaction, one exclusive
+  table lock, one coalesced page-flush pass and one durable WAL flush per
+  batch instead of per step.  Records that reach their final tuple state are
+  collected and handed to ``on_complete_batch`` in one call, letting the
+  engine scrub and remove them in bulk as well.
+* **per-step** (``batch_applier=None``) — the original one-step-one-
+  transaction path, kept as the measurable baseline and for appliers that
+  cannot batch.
+
+``max_batch`` bounds how many steps each scheduler drain round may pop: a
+backlog of 100k overdue steps is then applied in 100k/``max_batch`` chunks,
+each with its own short-lived lock and WAL flush, so readers interleave with
+a draining backlog instead of stalling behind one giant system transaction.
+``None`` (the default) applies each wave as a single batch per table.
+
+The daemon delegates the physical work to the engine-provided applier(s) and
 tracks timeliness statistics through the scheduler.
 """
 
@@ -18,7 +38,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..core.clock import Clock, SimulatedClock
-from ..core.scheduler import DegradationScheduler, DegradationStep
+from ..core.scheduler import BatchApplier, DegradationScheduler, DegradationStep
 
 
 @dataclass
@@ -34,11 +54,18 @@ class DegradationDaemon:
     def __init__(self, clock: Clock, scheduler: DegradationScheduler,
                  applier: Callable[[DegradationStep], bool],
                  on_complete: Optional[Callable[[object], None]] = None,
-                 auto_attach: bool = True) -> None:
+                 auto_attach: bool = True,
+                 batch_applier: Optional[BatchApplier] = None,
+                 on_complete_batch: Optional[Callable[[List[object]], None]] = None,
+                 max_batch: Optional[int] = None) -> None:
         self.clock = clock
         self.scheduler = scheduler
         self.applier = applier
         self.on_complete = on_complete
+        self.batch_applier = batch_applier
+        self.on_complete_batch = on_complete_batch
+        #: Upper bound on steps popped per drain round (``None`` = unbounded).
+        self.max_batch = max_batch
         self.stats = DaemonStats()
         self._enabled = True
         if auto_attach and isinstance(clock, SimulatedClock):
@@ -68,10 +95,33 @@ class DegradationDaemon:
         if now is None:
             now = self.clock.now()
         self.stats.invocations += 1
-        applied = self.scheduler.run_due(now, self.applier, on_complete=self.on_complete)
-        if applied:
-            self.stats.batches += 1
-            self.stats.steps_applied += len(applied)
+        if self.batch_applier is not None:
+            applied = self._run_batched(now)
+        else:
+            applied = self.scheduler.run_due(now, self.applier,
+                                             on_complete=self.on_complete)
+            if applied:
+                self.stats.batches += 1
+        self.stats.steps_applied += len(applied)
+        return applied
+
+    def _run_batched(self, now: float) -> List[DegradationStep]:
+        def counting_applier(key, steps):
+            result = self.batch_applier(key, steps)
+            if result:
+                self.stats.batches += 1
+            return result
+
+        completed: List[object] = []
+        applied = self.scheduler.run_due_batched(
+            now, counting_applier, on_complete=completed.append,
+            max_batch=self.max_batch)
+        if completed:
+            if self.on_complete_batch is not None:
+                self.on_complete_batch(completed)
+            elif self.on_complete is not None:
+                for record_id in completed:
+                    self.on_complete(record_id)
         return applied
 
     def next_due(self) -> Optional[float]:
@@ -81,22 +131,7 @@ class DegradationDaemon:
         """Number of steps overdue at ``now`` (timeliness measure)."""
         if now is None:
             now = self.clock.now()
-        count = 0
-        next_due = self.scheduler.peek_next_due()
-        if next_due is None or next_due > now:
-            return 0
-        # peek_next_due only exposes the earliest step; count by draining a copy
-        # of the due set lazily through the scheduler's public API would apply
-        # them, so report a conservative indicator instead.
-        for _due, _seq, step in self.scheduler._heap:  # noqa: SLF001 - diagnostic only
-            registration = self.scheduler._registrations.get(step.record_id)  # noqa: SLF001
-            if registration is None:
-                continue
-            if registration.current_states.get(step.attribute) != step.from_state:
-                continue
-            if _due <= now:
-                count += 1
-        return count
+        return self.scheduler.overdue_count(now)
 
 
 __all__ = ["DegradationDaemon", "DaemonStats"]

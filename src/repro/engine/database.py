@@ -94,7 +94,9 @@ class InstantDB:
                  page_size: int = 4096,
                  buffer_capacity: int = 256,
                  data_dir: Optional[str] = None,
-                 deterministic_crypto: bool = True) -> None:
+                 deterministic_crypto: bool = True,
+                 batch_degradation: bool = True,
+                 degradation_max_batch: Optional[int] = None) -> None:
         self.clock: Clock = make_clock(clock) if isinstance(clock, str) else clock
         self.strategy = strategy
         pager_path = None
@@ -119,6 +121,9 @@ class InstantDB:
         self.daemon = DegradationDaemon(
             self.clock, self.scheduler, applier=self._apply_degradation_step,
             on_complete=self._on_record_final,
+            batch_applier=self._apply_degradation_batch if batch_degradation else None,
+            on_complete_batch=self._on_records_final if batch_degradation else None,
+            max_batch=degradation_max_batch,
         )
         self.stats = EngineStats()
 
@@ -656,6 +661,77 @@ class InstantDB:
         self.stats.degradation_steps_applied += 1
         return True
 
+    def _apply_degradation_batch(self, table: str,
+                                 steps: List[DegradationStep]) -> List[DegradationStep]:
+        """Apply one table's worth of due steps as one batch.
+
+        The whole batch pays one system transaction, one exclusive table lock
+        and one durable WAL flush (the commit); the store coalesces page
+        writes so each dirty heap page is flushed once and scrubs the WAL in
+        a single pass.  On a lock conflict every step of the batch is
+        deferred and retried after the conflicting transaction finishes.
+        Returns the steps that were applied.
+        """
+        store = self._store_for(table)
+        live: List[DegradationStep] = []
+        for step in steps:
+            _table, row_key = step.record_id
+            if not store.exists(row_key) or (table, row_key) not in self._tuple_lcps:
+                self.scheduler.cancel(step.record_id)
+                continue
+            live.append(step)
+        if not live:
+            return []
+        now = self.clock.now()
+        txn = self.transactions.begin(system=True, now=now)
+        try:
+            granted = self.transactions.lock_exclusive(txn, table)
+        except DeadlockError:
+            granted = False
+        if not granted:
+            self.transactions.abort(txn, now=now, reason="degradation lock conflict")
+            self.transactions.note_reader_degrader_conflict()
+            self.stats.degradation_conflicts += 1
+            for step in live:
+                self.scheduler.defer(step, now + _CONFLICT_RETRY_SECONDS)
+            return []
+        # Order steps by heap page (the store's row→page map): degrade_many
+        # coalesces page flushes either way, but page order keeps the rewrite
+        # pass sequential on the heap and the WAL batch deterministic.
+        def page_order(step: DegradationStep) -> Tuple[int, int]:
+            row_key = step.record_id[1]
+            page_id = store.page_of(row_key)
+            return (page_id if page_id is not None else -1, row_key)
+
+        live.sort(key=page_order)
+        items = []
+        for step in live:
+            lcp = self._tuple_lcps[(table, step.record_id[1])].attributes[step.attribute]
+            items.append((step.record_id[1], step.attribute, lcp.scheme,
+                          lcp.state_level(step.to_state)))
+        try:
+            info = self.catalog.table(table)
+            outcomes = store.degrade_many(items, now, txn_id=txn.txn_id)
+            for index_info in info.indexes.values():
+                moves = [o for o in outcomes
+                         if o.changed and o.column == index_info.column]
+                if not moves:
+                    continue
+                if isinstance(index_info.index, GTIndex):
+                    index_info.index.degrade_entries(
+                        [(o.old_value, o.from_level, o.new_value, o.to_level,
+                          o.row_key) for o in moves])
+                else:
+                    for outcome in moves:
+                        index_info.index.update(outcome.old_value,
+                                                outcome.new_value, outcome.row_key)
+        except BaseException:
+            self.transactions.abort(txn, now=now)
+            raise
+        self.transactions.commit(txn, now=now)
+        self.stats.degradation_steps_applied += len(live)
+        return live
+
     def _on_record_final(self, record_id: Any) -> None:
         table, row_key = record_id
         info = self.catalog.table(table)
@@ -675,6 +751,38 @@ class InstantDB:
         self._index_delete(info, stored)
         store.remove(row_key, now=self.clock.now())
         self.stats.rows_removed_by_policy += 1
+
+    def _on_records_final(self, record_ids: List[Any]) -> None:
+        """Bulk completion handler: remove finalized tuples table by table.
+
+        Where :meth:`_on_record_final` pays one WAL scrub rewrite per record,
+        this path collects every record a degradation drain finalized and
+        removes them through :meth:`TableStore.remove_many` — one scrub pass
+        and one flush per touched page per table.
+        """
+        by_table: Dict[str, List[int]] = {}
+        for record_id in record_ids:
+            table, row_key = record_id
+            by_table.setdefault(table, []).append(row_key)
+        for table, row_keys in by_table.items():
+            info = self.catalog.table(table)
+            store = self._store_for(table)
+            removable: List[int] = []
+            for row_key in row_keys:
+                tuple_lcp = self._tuple_lcps.pop((table, row_key), None)
+                if info.policy is None or not info.policy.remove_on_final:
+                    continue
+                if tuple_lcp is not None and not all(
+                        lcp.fully_suppresses for lcp in tuple_lcp.attributes.values()):
+                    continue
+                if not store.exists(row_key):
+                    continue
+                stored = store.read(row_key)
+                self._index_delete(info, stored)
+                removable.append(row_key)
+            if removable:
+                store.remove_many(removable, now=self.clock.now())
+                self.stats.rows_removed_by_policy += len(removable)
 
     # ------------------------------------------------------------------ maintenance
 

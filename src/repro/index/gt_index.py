@@ -18,7 +18,7 @@ postings along the accuracy levels of the attribute's generalization scheme:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Set, Tuple
 
 from ..core.errors import IndexError_
 from ..core.generalization import GeneralizationScheme
@@ -90,6 +90,56 @@ class GTIndex(Index):
             )
         self.insert_at(new_value, new_level, row_key)
         self.stats.updates += 1
+
+    def degrade_entries(self, moves: Iterable[Tuple[Any, int, Any, int, int]]) -> int:
+        """Bulk :meth:`degrade_entry`: apply many posting moves in one pass.
+
+        ``moves`` is an iterable of ``(old_value, old_level, new_value,
+        new_level, row_key)``.  Moves sharing the same value/level transition
+        (the common case: a whole expiry wave degrading one attribute by one
+        step) are grouped so each source/target bucket pair is resolved once
+        and the postings are merged with one set update.  Returns the number
+        of postings moved.
+        """
+        grouped: Dict[Tuple[Any, int, Any, int], Tuple[Any, int, Any, int, List[int]]] = {}
+        for old_value, old_level, new_value, new_level, row_key in moves:
+            if new_level < old_level:
+                raise IndexError_(
+                    f"index {self.name!r}: degradation cannot decrease the level"
+                )
+            key = (_hashable(old_value), old_level, _hashable(new_value), new_level)
+            entry = grouped.get(key)
+            if entry is None:
+                entry = (old_value, old_level, new_value, new_level, [])
+                grouped[key] = entry
+            entry[4].append(row_key)
+        moved = 0
+        for old_value, old_level, new_value, new_level, row_keys in grouped.values():
+            surrogate = _hashable(old_value)
+            bucket = self._buckets.get(old_level, {}).get(surrogate)
+            for row_key in row_keys:
+                if bucket is None or row_key not in bucket:
+                    raise IndexError_(
+                        f"index {self.name!r}: missing entry {old_value!r}@{old_level} "
+                        f"for row {row_key}"
+                    )
+                bucket.discard(row_key)
+                self._size -= 1
+                self.stats.deletes += 1
+            if bucket is not None and not bucket:
+                del self._buckets[old_level][surrogate]
+                self._display_keys.pop((old_level, surrogate), None)
+            new_surrogate = _hashable(new_value)
+            target = self._buckets[new_level].setdefault(new_surrogate, set())
+            before = len(target)
+            target.update(row_keys)
+            self._size += len(target) - before
+            self._display_keys[(new_level, new_surrogate)] = new_value
+            count = len(row_keys)
+            self.stats.inserts += count
+            self.stats.updates += count
+            moved += count
+        return moved
 
     def degrade_bucket(self, value: Any, old_level: int, new_level: int) -> int:
         """Bulk-degrade every posting of ``value`` at ``old_level``.

@@ -64,6 +64,20 @@ class StoredRow:
 
 
 @dataclass
+class DegradeOutcome:
+    """What one bulk degradation step did (input to index maintenance)."""
+
+    row_key: int
+    column: str
+    from_level: int
+    to_level: int
+    old_value: Any
+    new_value: Any
+    #: False when the step was a pure state advance (level already reached).
+    changed: bool = True
+
+
+@dataclass
 class TableStoreStats:
     inserts: int = 0
     reads: int = 0
@@ -197,6 +211,15 @@ class TableStore:
     def row_count(self) -> int:
         return len(self._locations)
 
+    def page_of(self, row_key: int) -> Optional[int]:
+        """Heap page currently holding ``row_key`` (the row→page map).
+
+        The batch degradation pipeline uses this to sub-group a table's due
+        steps by page so every dirty page is rewritten and flushed once.
+        """
+        record_id = self._locations.get(row_key)
+        return record_id.page_id if record_id is not None else None
+
     def _location(self, row_key: int) -> RecordId:
         try:
             return self._locations[row_key]
@@ -268,6 +291,101 @@ class TableStore:
         self.stats.degrade_steps += 1
         return self._decode_row(payload)
 
+    def degrade_many(self, items: List[Tuple[int, str, GeneralizationScheme, int]],
+                     now: float, txn_id: int = 0) -> List[DegradeOutcome]:
+        """Apply a batch of degradation steps with coalesced physical I/O.
+
+        ``items`` is a list of ``(row_key, column, scheme, to_level)``; steps
+        of the same row are applied against one read/encode/rewrite cycle,
+        every dirty page is flushed exactly once, and (for the rewrite
+        strategy) the WAL images of all touched rows are scrubbed in a single
+        :meth:`WriteAheadLog.scrub_records` pass — one log rewrite for the
+        whole batch instead of one per step.  The WAL DEGRADE records of the
+        batch are appended here and reach the disk with the caller's single
+        durable flush (the enclosing system transaction's commit).
+
+        Returns one :class:`DegradeOutcome` per item, in item order grouped by
+        row, carrying the value transition the index layer needs.
+        """
+        by_row: Dict[int, List[Tuple[int, str, GeneralizationScheme, int]]] = {}
+        row_order: List[int] = []
+        for item in items:
+            row_key = item[0]
+            if row_key not in by_row:
+                by_row[row_key] = []
+                row_order.append(row_key)
+            by_row[row_key].append(item)
+        outcomes: List[DegradeOutcome] = []
+        dirty_pages: List[int] = []
+        seen_pages: set = set()
+        scrub_rows: List[int] = []
+        for row_key in row_order:
+            row = self.read(row_key)
+            levels = dict(row.levels)
+            values = dict(row.values)
+            applied: List[DegradeOutcome] = []
+            for _row_key, column, scheme, to_level in by_row[row_key]:
+                column = column.lower()
+                if column not in self._degradable:
+                    raise PolicyError(
+                        f"table {self.schema.name!r}: column {column!r} is not degradable"
+                    )
+                from_level = levels[column]
+                if to_level < from_level:
+                    raise PolicyError(
+                        "degradation is irreversible: cannot decrease the level"
+                    )
+                old_value = values[column]
+                if to_level == from_level:
+                    outcomes.append(DegradeOutcome(
+                        row_key=row_key, column=column, from_level=from_level,
+                        to_level=to_level, old_value=old_value,
+                        new_value=old_value, changed=False,
+                    ))
+                    continue
+                if self._is_sentinel(old_value):
+                    new_value = old_value
+                else:
+                    new_value = scheme.generalize(old_value, to_level,
+                                                  from_level=from_level)
+                levels[column] = to_level
+                values[column] = new_value
+                outcome = DegradeOutcome(
+                    row_key=row_key, column=column, from_level=from_level,
+                    to_level=to_level, old_value=old_value, new_value=new_value,
+                )
+                applied.append(outcome)
+                outcomes.append(outcome)
+            if not applied:
+                continue
+            payload = self._encode_row(row_key, row.inserted_at, levels, values)
+            self._rewrite(row_key, payload)
+            for outcome in applied:
+                if self.strategy == "crypto":
+                    for level in range(outcome.from_level, outcome.to_level):
+                        self.keystore.destroy_key(
+                            (self.schema.name, row_key, outcome.column, level))
+                self.wal.append(
+                    LogRecordType.DEGRADE, txn_id, table=self.schema.name,
+                    row_key=row_key, attribute=outcome.column,
+                    after=encode_record([outcome.to_level]), timestamp=now,
+                )
+                self.stats.degrade_steps += 1
+            page_id = self._locations[row_key].page_id
+            if page_id not in seen_pages:
+                seen_pages.add(page_id)
+                dirty_pages.append(page_id)
+            if self.strategy == "rewrite":
+                scrub_rows.append(row_key)
+        # Irreversibility ordering, as in degrade(): the degraded pages reach
+        # stable storage before the accurate log images are scrubbed.
+        for page_id in dirty_pages:
+            self.buffer_pool.flush_page(page_id)
+        if scrub_rows:
+            self.wal.scrub_records(
+                [(self.schema.name, row_key) for row_key in scrub_rows], now=now)
+        return outcomes
+
     def remove(self, row_key: int, now: float, txn_id: int = 0,
                scrub_log: bool = True) -> None:
         """Final removal at the end of the life cycle (or explicit delete).
@@ -288,6 +406,40 @@ class TableStore:
             self.wal.scrub_record(self.schema.name, row_key, now=now)
         self.buffer_pool.flush_page(record_id.page_id)
         self.stats.removals += 1
+
+    def remove_many(self, row_keys: List[int], now: float, txn_id: int = 0) -> int:
+        """Bulk :meth:`remove`: one scrub pass and one flush per touched page.
+
+        Used by the engine when a degradation batch drives many tuples into
+        their final state at once; rows that vanished meanwhile are skipped.
+        Returns the number of rows removed.
+        """
+        removed: List[int] = []
+        dirty_pages: List[int] = []
+        seen_pages: set = set()
+        for row_key in row_keys:
+            record_id = self._locations.get(row_key)
+            if record_id is None:
+                continue
+            self.heap.delete(record_id)
+            del self._locations[row_key]
+            if self.keystore is not None:
+                self.keystore.destroy_matching((self.schema.name, row_key))
+            self.wal.append(
+                LogRecordType.REMOVE, txn_id, table=self.schema.name,
+                row_key=row_key, timestamp=now,
+            )
+            if record_id.page_id not in seen_pages:
+                seen_pages.add(record_id.page_id)
+                dirty_pages.append(record_id.page_id)
+            removed.append(row_key)
+            self.stats.removals += 1
+        if removed:
+            self.wal.scrub_records(
+                [(self.schema.name, row_key) for row_key in removed], now=now)
+        for page_id in dirty_pages:
+            self.buffer_pool.flush_page(page_id)
+        return len(removed)
 
     def delete(self, row_key: int, now: float, txn_id: int = 0) -> None:
         """Explicit user delete — same non-recoverability guarantees as removal."""
@@ -359,4 +511,5 @@ class TableStore:
         self._next_row_key = max_key + 1
 
 
-__all__ = ["TableStore", "StoredRow", "TableStoreStats", "STRATEGIES"]
+__all__ = ["TableStore", "StoredRow", "DegradeOutcome", "TableStoreStats",
+           "STRATEGIES"]

@@ -146,6 +146,129 @@ class TestTimedSteps:
         assert scheduler.peek_next_due() is None
 
 
+class TestCancellation:
+    def test_cancel_counts_actual_pending_steps(self, two_attr_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", two_attr_lcp, inserted_at=0.0)
+        # Two degradable attributes, each with a pending next step.
+        assert scheduler.cancel("r1") == 2
+        assert scheduler.stats.steps_cancelled == 2
+
+    def test_cancel_counts_remaining_steps_only(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        scheduler.run_due(HOUR + DAY, lambda step: True)   # two of four applied
+        assert scheduler.cancel("r1") == 1                 # one next step pending
+        assert scheduler.stats.steps_cancelled == 1
+
+    def test_cancel_ignores_never_firing_transitions(self, location_tree):
+        lcp = AttributeLCP(location_tree, states=[0, 4],
+                           transitions=[float("inf")])
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", TupleLCP({"location": lcp}), inserted_at=0.0)
+        assert scheduler.pending_count() == 0       # never scheduled
+        assert scheduler.cancel("r1") == 0          # so nothing to cancel
+        assert scheduler.stats.steps_cancelled == 0
+
+    def test_cancel_unknown_record_counts_nothing(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        assert scheduler.cancel("ghost") == 0
+        assert scheduler.stats.steps_cancelled == 0
+
+    def test_cancel_purges_event_waiters(self, location_tree):
+        lcp = AttributeLCP(location_tree, states=[0, 4], transitions=[{"event": "go"}])
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", TupleLCP({"location": lcp}), inserted_at=0.0)
+        scheduler.register("r2", TupleLCP({"location": lcp}), inserted_at=0.0)
+        assert scheduler.cancel("r1") == 1
+        # The cancelled record no longer leaks a waiter entry; the survivor stays.
+        assert scheduler._event_waiters == {"go": [("r2", "location")]}
+        scheduler.cancel("r2")
+        assert scheduler._event_waiters == {}
+
+
+class TestOverdueCount:
+    def test_overdue_count_tracks_due_steps(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        scheduler.register("r2", tuple_lcp, inserted_at=HOUR)
+        assert scheduler.overdue_count(HOUR - 1) == 0
+        assert scheduler.overdue_count(HOUR) == 1
+        assert scheduler.overdue_count(2 * HOUR) == 2
+
+    def test_overdue_count_skips_stale_entries(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        scheduler.cancel("r1")
+        assert scheduler.overdue_count(10 * MONTH) == 0
+
+    def test_overdue_count_does_not_pop(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        assert scheduler.overdue_count(HOUR) == 1
+        assert scheduler.overdue_count(HOUR) == 1
+        applied = []
+        scheduler.run_due(HOUR, collect_applier(applied))
+        assert len(applied) == 1
+
+
+class TestBatchedDrain:
+    def test_due_batches_group_by_record_id_prefix(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register(("person", 1), tuple_lcp, inserted_at=0.0)
+        scheduler.register(("person", 2), tuple_lcp, inserted_at=0.0)
+        scheduler.register(("visits", 1), tuple_lcp, inserted_at=0.0)
+        batches = scheduler.due_batches(HOUR)
+        assert {batch.key: len(batch) for batch in batches} == {"person": 2, "visits": 1}
+
+    def test_due_batches_respects_max_batch(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        for key in range(5):
+            scheduler.register(("person", key), tuple_lcp, inserted_at=0.0)
+        first = scheduler.due_batches(HOUR, max_batch=3)
+        assert sum(len(batch) for batch in first) == 3
+        rest = scheduler.due_batches(HOUR, max_batch=3)
+        assert sum(len(batch) for batch in rest) == 2
+
+    def test_run_due_batched_applies_and_completes(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register(("person", 1), tuple_lcp, inserted_at=0.0)
+        completed = []
+        applied = scheduler.run_due_batched(
+            10 * MONTH, lambda key, steps: steps, on_complete=completed.append)
+        assert len(applied) == 4                     # full life cycle, catch-up
+        assert completed == [("person", 1)]
+        assert scheduler.stats.steps_applied == 4
+        assert scheduler.stats.records_completed == 1
+
+    def test_run_due_batched_partial_application(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register(("person", 1), tuple_lcp, inserted_at=0.0)
+        scheduler.register(("person", 2), tuple_lcp, inserted_at=0.0)
+
+        def applier(key, steps):
+            kept = [step for step in steps if step.record_id == ("person", 1)]
+            for step in steps:
+                if step not in kept:
+                    scheduler.defer(step, until=2 * HOUR)
+            return kept
+
+        applied = scheduler.run_due_batched(HOUR, applier)
+        assert [step.record_id for step in applied] == [("person", 1)]
+        assert scheduler.current_state(("person", 2)) == {"location": 0}
+        # The deferred step fires on the next drain.
+        applied = scheduler.run_due_batched(2 * HOUR, lambda key, steps: steps)
+        assert ("person", 2) in {step.record_id for step in applied}
+
+    def test_run_due_batched_max_batch_drains_everything(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        for key in range(7):
+            scheduler.register(("person", key), tuple_lcp, inserted_at=0.0)
+        applied = scheduler.run_due_batched(HOUR, lambda key, steps: steps,
+                                            max_batch=2)
+        assert len(applied) == 7
+
+
 class TestEventSteps:
     def test_event_transition_waits_for_event(self, location_tree):
         lcp = AttributeLCP(location_tree, states=[0, 1, 4],
@@ -173,3 +296,22 @@ class TestEventSteps:
         scheduler = DegradationScheduler()
         scheduler.register("r1", tuple_lcp, inserted_at=0.0)
         assert scheduler.fire_event("never_registered", now=1.0) == []
+
+    def test_timed_step_after_event_transition_fires(self, location_tree):
+        """A timed transition that follows an event counts from the event time."""
+        lcp = AttributeLCP(location_tree, states=[0, 1, 4],
+                           transitions=[{"event": "released"}, "1 hour"])
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", TupleLCP({"location": lcp}), inserted_at=0.0)
+        applied = []
+        # Nothing fires by time alone, however long we wait.
+        scheduler.run_due(10 * MONTH, collect_applier(applied))
+        assert applied == []
+        scheduler.fire_event("released", now=DAY)
+        scheduler.run_due(DAY, collect_applier(applied))
+        assert [(s.from_state, s.to_state) for s in applied] == [(0, 1)]
+        # The follow-up timed step is due one hour after the event fired.
+        assert scheduler.peek_next_due() == DAY + HOUR
+        scheduler.run_due(DAY + HOUR, collect_applier(applied))
+        assert [(s.from_state, s.to_state) for s in applied] == [(0, 1), (1, 2)]
+        assert scheduler.stats.records_completed == 1

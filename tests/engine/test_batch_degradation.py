@@ -1,0 +1,215 @@
+"""The batch degradation pipeline: grouped drains, coalesced I/O, parity with
+the per-step baseline, and the retry / event paths around it."""
+
+import pytest
+
+from repro import AttributeLCP, InstantDB
+from repro.core.domains import build_location_tree
+from repro.privacy.forensic import scan_engine
+
+from ..conftest import build_engine
+
+PARIS = "1 Main Street, Paris"
+LYON = "2 Station Road, Lyon"
+ENSCHEDE = "3 Church Lane, Enschede"
+ADDRESSES = [PARIS, LYON, ENSCHEDE]
+
+
+def build_trace_engine(batch: bool = True, max_batch=None,
+                       strategy: str = "rewrite",
+                       transitions=None) -> InstantDB:
+    """Single-table engine with a location-only policy (fully controllable waves)."""
+    db = InstantDB(strategy=strategy, batch_degradation=batch,
+                   degradation_max_batch=max_batch)
+    location = db.register_domain(build_location_tree())
+    db.register_policy(AttributeLCP(
+        location, transitions=transitions or ["1 hour", "1 day", "1 month", "3 months"],
+        name="location_lcp"))
+    db.execute("CREATE TABLE trace (id INT PRIMARY KEY, location TEXT "
+               "DEGRADABLE DOMAIN location POLICY location_lcp)")
+    return db
+
+
+def insert_wave(db: InstantDB, count: int) -> None:
+    db.executemany("INSERT INTO trace VALUES (?, ?)",
+                   [(i, ADDRESSES[i % len(ADDRESSES)]) for i in range(1, count + 1)])
+
+
+class TestBatchedWave:
+    def test_one_wal_flush_per_batch(self):
+        db = build_trace_engine()
+        insert_wave(db, 25)
+        flushed = db.wal.stats.flushed
+        db.advance_time(hours=2)          # 25 steps due in one wave
+        assert db.stats.degradation_steps_applied == 25
+        assert db.wal.stats.flushed - flushed == 1
+        assert db.level_histogram("trace", "location") == {1: 25}
+
+    def test_dirty_pages_flushed_at_most_once_per_batch(self):
+        db = build_trace_engine()
+        insert_wave(db, 60)
+        flushes = db.buffer_pool.stats.flushes
+        db.advance_time(hours=2)
+        heap_pages = db.table_store("trace").heap.page_count
+        assert db.buffer_pool.stats.flushes - flushes <= heap_pages
+
+    def test_single_scrub_pass_per_batch(self):
+        db = build_trace_engine()
+        insert_wave(db, 20)
+        rewrites = db.wal.stats.scrub_rewrites
+        db.advance_time(hours=2)
+        assert db.wal.stats.scrub_rewrites - rewrites == 1
+
+    def test_one_system_txn_per_batch(self):
+        db = build_trace_engine()
+        insert_wave(db, 30)
+        system = db.transactions.stats.system_begun
+        db.advance_time(hours=2)
+        assert db.transactions.stats.system_begun - system == 1
+
+    def test_max_batch_chunks_the_drain(self):
+        db = build_trace_engine(max_batch=10)
+        insert_wave(db, 35)
+        flushed = db.wal.stats.flushed
+        db.advance_time(hours=2)
+        assert db.stats.degradation_steps_applied == 35
+        assert db.wal.stats.flushed - flushed == 4     # ceil(35 / 10) chunks
+        assert db.daemon.backlog() == 0
+
+    @pytest.mark.parametrize("strategy", ["rewrite", "crypto"])
+    def test_batch_wave_not_forensically_recoverable(self, strategy):
+        db = build_trace_engine(strategy=strategy)
+        insert_wave(db, 12)
+        db.advance_time(hours=2)
+        report = scan_engine(db, ADDRESSES, table="trace")
+        assert report.clean, report.summary()
+
+    @pytest.mark.parametrize("strategy", ["rewrite", "crypto"])
+    def test_batch_matches_per_step_visible_state(self, strategy):
+        batched = build_trace_engine(batch=True, strategy=strategy)
+        per_step = build_trace_engine(batch=False, strategy=strategy)
+        for db in (batched, per_step):
+            insert_wave(db, 15)
+            db.advance_time(days=2)       # two steps: city, then region
+            db.execute("DECLARE PURPOSE r SET ACCURACY LEVEL region FOR trace.location")
+        rows_batched = batched.execute("SELECT id, location FROM trace", purpose="r").rows
+        rows_per_step = per_step.execute("SELECT id, location FROM trace", purpose="r").rows
+        assert rows_batched == rows_per_step
+        assert batched.level_histogram("trace", "location") == \
+            per_step.level_histogram("trace", "location") == {2: 15}
+
+    def test_gt_index_maintained_in_bulk(self):
+        db = build_trace_engine()
+        db.create_index("idx_location", "trace", "location", method="gt")
+        insert_wave(db, 21)
+        db.advance_time(hours=2)
+        index = db.catalog.table("trace").indexes["idx_location"].index
+        index.verify()
+        assert index.level_histogram()[1] == 21
+        db.execute("DECLARE PURPOSE c SET ACCURACY LEVEL city FOR trace.location")
+        result = db.execute("SELECT id FROM trace WHERE location = 'Paris'", purpose="c")
+        assert len(result) == 7           # every third row is the Paris address
+
+    def test_mass_completion_removes_in_bulk(self):
+        db = build_trace_engine()
+        insert_wave(db, 18)
+        db.advance_time(days=600)         # full life cycle in one catch-up drain
+        assert db.row_count("trace") == 0
+        assert db.stats.rows_removed_by_policy == 18
+        report = scan_engine(db, ADDRESSES + ["Paris", "Lyon", "France"])
+        assert report.clean, report.summary()
+
+
+class TestLockConflictDeferral:
+    @pytest.mark.parametrize("batch", [True, False])
+    def test_conflicting_batch_defers_and_retries(self, batch):
+        db = build_trace_engine(batch=batch)
+        insert_wave(db, 8)
+        reader = db.begin()
+        db.execute("SELECT * FROM trace", txn=reader)
+        db.advance_time(hours=2)
+        # The reader's shared lock defers the whole wave; nothing is lost.
+        assert db.stats.degradation_conflicts >= 1
+        assert db.stats.degradation_steps_applied == 0
+        assert db.daemon.backlog() == 0   # deferred steps are re-queued, not overdue
+        db.commit(reader)
+        db.advance_time(seconds=2)        # past the conflict back-off
+        assert db.stats.degradation_steps_applied == 8
+        assert db.level_histogram("trace", "location") == {1: 8}
+
+    def test_deferred_steps_keep_original_lag_base(self):
+        db = build_trace_engine()
+        insert_wave(db, 3)
+        reader = db.begin()
+        db.execute("SELECT * FROM trace", txn=reader)
+        db.advance_time(hours=2)
+        db.commit(reader)
+        db.advance_time(seconds=2)
+        # Lag is measured against the original due time (1 h), not the retry.
+        assert db.scheduler.stats.max_lag >= 3600.0
+
+
+class TestEventInterleaving:
+    def test_event_then_timed_steps_through_engine(self):
+        """A timed step that follows an event transition fires relative to the
+        event — interleaved with other purely timed records."""
+        db = build_trace_engine(
+            transitions=[{"event": "case_closed"}, "1 day", "1 month", "3 months"])
+        db.execute(f"INSERT INTO trace VALUES (1, '{PARIS}')")
+        db.advance_time(days=30)          # no event yet: still fully accurate
+        assert db.level_histogram("trace", "location") == {0: 1}
+        db.fire_event("case_closed")      # address -> city immediately
+        assert db.level_histogram("trace", "location") == {1: 1}
+        db.advance_time(days=1, seconds=1)   # city -> region, 1 day after the event
+        assert db.level_histogram("trace", "location") == {2: 1}
+
+    def test_timed_and_event_records_interleave_in_one_drain(self):
+        db = InstantDB()
+        location = db.register_domain(build_location_tree())
+        db.register_policy(AttributeLCP(location, transitions=["1 hour", "1 day",
+                                                               "1 month", "3 months"],
+                                        name="timed_lcp"))
+        db.register_policy(AttributeLCP(location, states=[0, 1, 4],
+                                        transitions=[{"event": "released"}, "1 day"],
+                                        name="event_lcp"))
+        db.execute("CREATE TABLE timed (id INT PRIMARY KEY, location TEXT "
+                   "DEGRADABLE DOMAIN location POLICY timed_lcp)")
+        db.execute("CREATE TABLE held (id INT PRIMARY KEY, location TEXT "
+                   "DEGRADABLE DOMAIN location POLICY event_lcp)")
+        db.execute(f"INSERT INTO timed VALUES (1, '{PARIS}')")
+        db.execute(f"INSERT INTO held VALUES (1, '{LYON}')")
+        db.fire_event("released")         # held: address -> city at t=0
+        db.advance_time(days=2)
+        # One drain applied steps of both tables: timed went two steps, and the
+        # held record's post-event timed step (1 day after the event) fired too,
+        # completing its fully-suppressing life cycle — the row is removed.
+        assert db.level_histogram("timed", "location") == {2: 1}
+        assert db.row_count("held") == 0
+        assert db.stats.rows_removed_by_policy == 1
+        assert db.scheduler.stats.records_completed == 1
+
+    def test_cancelled_record_ignores_later_event(self):
+        db = build_trace_engine(
+            transitions=[{"event": "go"}, "1 day", "1 month", "3 months"])
+        db.execute(f"INSERT INTO trace VALUES (1, '{PARIS}')")
+        db.execute("DELETE FROM trace WHERE id = 1")
+        assert db.fire_event("go") == []
+        assert db.scheduler.registered_count() == 0
+
+
+class TestBacklogReporting:
+    def test_backlog_counts_overdue_steps_publicly(self):
+        db = build_trace_engine()
+        insert_wave(db, 9)
+        db.daemon.pause()
+        db.advance_time(hours=2)
+        assert db.daemon.backlog() == 9
+        assert db.scheduler.overdue_count(db.now()) == 9
+        db.daemon.resume()
+        db.run_degradation()
+        assert db.daemon.backlog() == 0
+
+    def test_backlog_zero_when_nothing_due(self):
+        db = build_trace_engine()
+        insert_wave(db, 3)
+        assert db.daemon.backlog() == 0

@@ -140,6 +140,86 @@ class TestDegradation:
         assert row.values["salary"] == 2500
 
 
+class TestBulkDegradation:
+    def test_degrade_many_matches_per_step_results(self, store):
+        keys = [store.insert({**ROW, "id": i}, now=0.0) for i in range(1, 5)]
+        outcomes = store.degrade_many(
+            [(row_key, "location", LOCATION, 1) for row_key in keys], now=3600.0)
+        assert [o.row_key for o in outcomes] == keys
+        assert all(o.changed and o.to_level == 1 for o in outcomes)
+        assert all(o.new_value == "Paris" for o in outcomes)
+        for row_key in keys:
+            row = store.read(row_key)
+            assert row.values["location"] == "Paris"
+            assert row.levels["location"] == 1
+
+    def test_degrade_many_multiple_columns_one_rewrite(self, store):
+        row_key = store.insert(ROW, now=0.0)
+        relocations = store.stats.relocations
+        outcomes = store.degrade_many(
+            [(row_key, "location", LOCATION, 1), (row_key, "salary", SALARY, 2)],
+            now=1.0)
+        assert len(outcomes) == 2
+        row = store.read(row_key)
+        assert row.values["location"] == "Paris"
+        assert row.values["salary"] == "2000-3000"
+        assert row.levels == {"location": 1, "salary": 2}
+        assert store.stats.relocations == relocations    # one in-place rewrite
+
+    def test_degrade_many_noop_level_reported_unchanged(self, store):
+        row_key = store.insert(ROW, now=0.0)
+        outcomes = store.degrade_many([(row_key, "location", LOCATION, 0)], now=1.0)
+        assert outcomes[0].changed is False
+        assert store.read(row_key).values["location"] == "1 Main Street, Paris"
+        # No WAL record, no degrade counted for a pure no-op.
+        assert store.stats.degrade_steps == 0
+
+    def test_degrade_many_single_scrub_pass(self):
+        store = make_store("rewrite")
+        keys = [store.insert({**ROW, "id": i}, now=0.0) for i in range(1, 11)]
+        rewrites = store.wal.stats.scrub_rewrites
+        store.degrade_many([(k, "location", LOCATION, 1) for k in keys], now=1.0)
+        assert store.wal.stats.scrub_rewrites == rewrites + 1
+        assert b"Main Street" not in store.wal.raw_image()
+
+    def test_degrade_many_flushes_each_page_once(self):
+        store = make_store("rewrite")
+        keys = [store.insert({**ROW, "id": i}, now=0.0) for i in range(1, 41)]
+        flushes = store.buffer_pool.stats.flushes
+        store.degrade_many([(k, "location", LOCATION, 1) for k in keys], now=1.0)
+        assert (store.buffer_pool.stats.flushes - flushes) <= store.heap.page_count
+
+    def test_degrade_many_crypto_destroys_old_keys(self):
+        store = make_store("crypto")
+        row_key = store.insert(ROW, now=0.0)
+        store.degrade_many([(row_key, "location", LOCATION, 2)], now=1.0)
+        key_id = (store.schema.name, row_key, "location", 0)
+        assert store.keystore.is_destroyed(key_id)
+        assert store.read(row_key).values["location"] == "Ile-de-France"
+
+    def test_degrade_many_backwards_rejected(self, store):
+        row_key = store.insert(ROW, now=0.0)
+        store.degrade(row_key, "location", LOCATION, to_level=2, now=1.0)
+        with pytest.raises(PolicyError):
+            store.degrade_many([(row_key, "location", LOCATION, 1)], now=2.0)
+
+    def test_page_of_reflects_location(self, store):
+        row_key = store.insert(ROW, now=0.0)
+        assert store.page_of(row_key) == store._locations[row_key].page_id
+        assert store.page_of(999) is None
+
+    def test_remove_many_bulk(self):
+        store = make_store("rewrite")
+        keys = [store.insert({**ROW, "id": i}, now=0.0) for i in range(1, 6)]
+        rewrites = store.wal.stats.scrub_rewrites
+        assert store.remove_many(keys + [999], now=1.0) == 5
+        assert store.row_count == 0
+        assert store.stats.removals == 5
+        # One scrub pass for the whole batch.
+        assert store.wal.stats.scrub_rewrites == rewrites + 1
+        assert b"alice" not in store.wal.raw_image()
+
+
 class TestNonRecoverability:
     """After degradation / removal the accurate plaintext must be gone everywhere."""
 
