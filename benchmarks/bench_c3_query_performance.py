@@ -12,11 +12,21 @@ Measured series:
   before and after the table has degraded;
 * index maintenance cost of one degradation wave for B+-tree / hash / bitmap /
   GT indexes (the OLAP update-load effect);
-* OLAP aggregate cost while degradation runs.
+* OLAP aggregate cost while degradation runs;
+* streaming-pipeline scenarios: ``LIMIT k`` early exit (O(k) rows pulled past
+  the scan), ``ORDER BY + LIMIT`` through the bounded Top-N heap, and the
+  build/stream hash join.
+
+``C3_SCAN_ROWS`` scales the pipeline scenarios (CI smoke mode uses a small
+value); the structural assertions — rows pulled, heap bound — hold at any
+scale.
 """
+
+import os
 
 import pytest
 
+from repro import InstantDB
 from repro.core.domains import build_location_tree
 from repro.index.bitmap import BitmapIndex
 from repro.index.btree import BPlusTreeIndex
@@ -27,6 +37,8 @@ from repro.workloads import LocationTraceGenerator
 from .conftest import build_engine, load_trace, print_table
 
 NUM_EVENTS = 200
+SCAN_ROWS = int(os.environ.get("C3_SCAN_ROWS", "2000"))
+NUM_USERS = 50
 
 
 @pytest.fixture(scope="module")
@@ -152,3 +164,77 @@ def test_c3_olap_aggregate_during_degradation(benchmark, degraded_db):
         "FROM person GROUP BY location ORDER BY location", purpose="statistics"))
     assert len(result) >= 2
     assert sum(row[1] for row in result.rows) == db.row_count("person")
+
+
+# -- streaming-pipeline scenarios (Volcano operators) ---------------------------
+
+
+@pytest.fixture(scope="module")
+def pipeline_db():
+    """A stable (non-degradable) fact/dimension pair at C3_SCAN_ROWS scale."""
+    db = InstantDB()
+    db.execute("CREATE TABLE events (id INT PRIMARY KEY, user_id INT, score INT)")
+    db.executemany("INSERT INTO events VALUES (?, ?, ?)",
+                   [(i, i % NUM_USERS, (i * 37) % 1000)
+                    for i in range(1, SCAN_ROWS + 1)])
+    db.execute("CREATE TABLE users (uid INT PRIMARY KEY, name TEXT)")
+    db.executemany("INSERT INTO users VALUES (?, ?)",
+                   [(u, f"user-{u}") for u in range(NUM_USERS)])
+    return db
+
+
+def test_c3_limit_early_exit(benchmark, pipeline_db):
+    """LIMIT k stops the whole pipeline after k rows: O(k) post-scan work."""
+    db = pipeline_db
+    result = benchmark(lambda: db.execute("SELECT id FROM events LIMIT 10"))
+    assert len(result) == 10
+    scan = result.pipeline.find("SeqScan")
+    print_table("C3: LIMIT 10 early exit",
+                ["metric", "value"],
+                [("table rows", SCAN_ROWS),
+                 ("rows pulled past the scan", scan.stats.rows_out)])
+    # The scan produced exactly what Limit pulled, not the whole table.
+    assert scan.stats.rows_out == 10
+
+
+def test_c3_topn_bounded_heap(benchmark, pipeline_db):
+    """ORDER BY + LIMIT keeps a heap of n rows instead of sorting the table."""
+    db = pipeline_db
+    sql = "SELECT id, score FROM events ORDER BY score DESC, id ASC LIMIT 10"
+    result = benchmark(lambda: db.execute(sql))
+    topn = result.pipeline.find("TopN")
+    assert topn is not None and topn.max_held == 10
+    full = db.execute("SELECT id, score FROM events ORDER BY score DESC, id ASC")
+    assert result.rows == full.rows[:10]
+    print_table("C3: Top-N heap vs full sort",
+                ["metric", "value"],
+                [("rows consumed", SCAN_ROWS),
+                 ("heap high-water mark", topn.max_held)])
+
+
+def test_c3_hash_join_build_and_stream(benchmark, pipeline_db):
+    """Equi-join: build the dimension side once, stream the fact side."""
+    db = pipeline_db
+    sql = ("SELECT events.id, users.name FROM events "
+           "JOIN users ON events.user_id = users.uid")
+    result = benchmark(lambda: db.execute(sql))
+    assert len(result) == SCAN_ROWS
+    join = result.pipeline.find("HashJoin")
+    assert join is not None and join.stats.rows_out == SCAN_ROWS
+
+
+def test_c3_join_with_limit_streams_the_probe_side(benchmark, pipeline_db):
+    """LIMIT over a join stops probing early; only the build side is read fully."""
+    db = pipeline_db
+    sql = ("SELECT events.id, users.name FROM events "
+           "JOIN users ON events.user_id = users.uid LIMIT 10")
+    result = benchmark(lambda: db.execute(sql))
+    assert len(result) == 10
+    scans = [op for op in result.pipeline.walk() if op.label == "SeqScan"]
+    by_table = {scan.scan.table: scan.stats.rows_out for scan in scans}
+    print_table("C3: LIMIT 10 over a hash join",
+                ["side", "rows pulled"],
+                [("events (probe, streamed)", by_table["events"]),
+                 ("users (build, materialized)", by_table["users"])])
+    assert by_table["events"] == 10          # probe side stops early
+    assert by_table["users"] == NUM_USERS    # build side fully materialized

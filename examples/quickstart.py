@@ -76,6 +76,18 @@ def main() -> None:
 
         print_rows("t = 0 (accurate): SELECT * FROM person",
                    cur.execute("SELECT * FROM person"))
+
+        # EXPLAIN shows the streaming operator pipeline: the access path the
+        # planner chose (here a sequential scan — add a GT index to see
+        # GTIndexScan), the residual predicate the filter still evaluates,
+        # and the Limit operator that stops the scan early.  EXPLAIN ANALYZE
+        # additionally runs the query and annotates every operator with the
+        # rows that actually crossed it.
+        print("\nEXPLAIN ANALYZE SELECT id, name FROM person "
+              "WHERE salary > 1000 LIMIT 2 ->")
+        for (line,) in cur.execute("EXPLAIN ANALYZE SELECT id, name FROM person "
+                                   "WHERE salary > 1000 LIMIT 2"):
+            print("  " + line)
         conn.commit()          # release the read locks before time advances
 
         # 5. Advance time: after 2 hours every address has become a city.

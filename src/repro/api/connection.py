@@ -16,6 +16,7 @@ The driver layers the standard connect/cursor/transaction protocol on top of
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import InterfaceError, NotSupportedError, ProgrammingError
@@ -23,6 +24,7 @@ from ..core.policy import Purpose
 from ..engine.database import InstantDB
 from ..query import ast_nodes as ast
 from ..query.executor import QueryResult
+from ..query.operators import StreamingResult
 from ..txn.transaction import Transaction, TransactionState
 
 #: PEP 249 module globals (re-exported by :mod:`repro.api` and :mod:`repro`).
@@ -65,6 +67,7 @@ class Connection:
         self._owns_engine = owns_engine
         self._txn: Optional[Transaction] = None
         self._closed = False
+        self._cursors: "weakref.WeakSet[Cursor]" = weakref.WeakSet()
 
     # -- engine access -------------------------------------------------------
 
@@ -106,11 +109,24 @@ class Connection:
         self._prune_dead_txn()
         return self._txn is not None
 
+    def _settle_streams(self) -> None:
+        """Materialize every cursor's pending stream before locks are released.
+
+        A streamed result set is computed under the transaction's read locks;
+        once commit/rollback releases them, other transactions may write the
+        scanned tables, so draining lazily afterwards could observe their
+        uncommitted state.  Settling here gives partially-fetched cursors the
+        same snapshot the old materialize-at-execute cursor had.
+        """
+        for cursor in list(self._cursors):
+            cursor._materialize_stream()
+
     def commit(self) -> None:
         """Commit the open transaction (no-op when nothing is pending)."""
         self._check_open()
         self._prune_dead_txn()
         if self._txn is not None:
+            self._settle_streams()
             self._engine.commit(self._txn)
             self._txn = None
 
@@ -119,6 +135,7 @@ class Connection:
         self._check_open()
         self._prune_dead_txn()
         if self._txn is not None:
+            self._settle_streams()
             self._engine.rollback(self._txn)
             self._txn = None
 
@@ -155,7 +172,9 @@ class Connection:
 
     def cursor(self) -> "Cursor":
         self._check_open()
-        return Cursor(self)
+        cursor = Cursor(self)
+        self._cursors.add(cursor)
+        return cursor
 
     def execute(self, sql: str, params: Sequence[Any] = (), *,
                 purpose: PurposeSpec = None) -> "Cursor":
@@ -186,6 +205,7 @@ class Cursor:
         self._rows: List[Tuple[Any, ...]] = []
         self._position = 0
         self._has_result_set = False
+        self._stream: Optional[Iterator[Tuple[Any, ...]]] = None
 
     def _check(self) -> None:
         if self._closed:
@@ -200,13 +220,16 @@ class Cursor:
 
         Runs inside the connection's implicit transaction; remember to
         :meth:`Connection.commit`.  Returns the cursor itself so calls chain
-        (``for row in cur.execute(...)``).
+        (``for row in cur.execute(...)``).  SELECTs stream: rows flow out of
+        the engine's operator pipeline as they are fetched, so
+        ``fetchone`` after a ``LIMIT``-free query over a large table pays
+        only for the rows actually pulled.
         """
         self._check()
         engine = self.connection._engine
         result = engine.execute(
             sql, purpose=self._resolve_purpose(purpose),
-            txn=self.connection._transaction(), params=params,
+            txn=self.connection._transaction(), params=params, stream=True,
         )
         self._ingest(result)
         return self
@@ -235,7 +258,14 @@ class Cursor:
 
     def _ingest(self, result: Any) -> None:
         self._reset()
-        if isinstance(result, QueryResult):
+        if isinstance(result, StreamingResult):
+            self.description = [
+                (name, None, None, None, None, None, None)
+                for name in result.columns
+            ]
+            self._stream = iter(result)
+            self._has_result_set = True
+        elif isinstance(result, QueryResult):
             self.description = [
                 (name, None, None, None, None, None, None)
                 for name in result.columns
@@ -247,6 +277,14 @@ class Cursor:
 
     # -- result-set traversal --------------------------------------------------
 
+    def _materialize_stream(self) -> None:
+        """Drain a pending stream into the row buffer (end-of-transaction)."""
+        if self._stream is None:
+            return
+        self._rows = list(self._stream)
+        self._position = 0
+        self._stream = None
+
     def _require_result_set(self) -> None:
         if not self._has_result_set:
             raise ProgrammingError("no result set: the previous statement was "
@@ -255,6 +293,8 @@ class Cursor:
     def fetchone(self) -> Optional[Tuple[Any, ...]]:
         self._check()
         self._require_result_set()
+        if self._stream is not None:
+            return next(self._stream, None)
         if self._position >= len(self._rows):
             return None
         row = self._rows[self._position]
@@ -266,6 +306,14 @@ class Cursor:
         self._require_result_set()
         if size is None:
             size = self.arraysize
+        if self._stream is not None:
+            rows: List[Tuple[Any, ...]] = []
+            for _ in range(size):
+                row = next(self._stream, None)
+                if row is None:
+                    break
+                rows.append(row)
+            return rows
         rows = self._rows[self._position:self._position + size]
         self._position += len(rows)
         return rows
@@ -273,6 +321,9 @@ class Cursor:
     def fetchall(self) -> List[Tuple[Any, ...]]:
         self._check()
         self._require_result_set()
+        if self._stream is not None:
+            rows = list(self._stream)
+            return rows
         rows = self._rows[self._position:]
         self._position = len(self._rows)
         return rows
@@ -297,6 +348,7 @@ class Cursor:
     def close(self) -> None:
         self._closed = True
         self._rows = []
+        self._stream = None
 
     def __enter__(self) -> "Cursor":
         self._check()

@@ -252,20 +252,24 @@ class InstantDB:
 
     def execute(self, sql: str, purpose: Union[None, str, Purpose] = None,
                 txn: Optional[Transaction] = None,
-                params: Optional[Sequence[Any]] = None) -> Any:
+                params: Optional[Sequence[Any]] = None,
+                stream: bool = False) -> Any:
         """Execute one SQL statement, optionally binding qmark parameters.
 
         This is the legacy facade kept for compatibility; new code should
         prefer :func:`repro.connect` and the PEP 249 Connection/Cursor API,
         which delegates to the same prepared-statement path.  Returns a
         :class:`QueryResult` for SELECT/EXPLAIN, the number of affected rows
-        for DML, and ``None`` for DDL.
+        for DML, and ``None`` for DDL.  With ``stream=True`` and a
+        caller-supplied ``txn``, SELECTs return a lazily-evaluated
+        :class:`~repro.query.operators.StreamingResult` instead (the cursor
+        fast path — rows are computed as they are fetched).
         """
         prepared = self.prepare(sql)
         statement = prepared.bind(params)
         prepared.executions += 1
         return self.execute_statement(statement, purpose=purpose, txn=txn,
-                                      prepared=prepared)
+                                      prepared=prepared, stream=stream)
 
     def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]],
                     purpose: Union[None, str, Purpose] = None,
@@ -309,7 +313,8 @@ class InstantDB:
     def execute_statement(self, statement: ast.Statement,
                           purpose: Union[None, str, Purpose] = None,
                           txn: Optional[Transaction] = None,
-                          prepared: Optional[PreparedStatement] = None) -> Any:
+                          prepared: Optional[PreparedStatement] = None,
+                          stream: bool = False) -> Any:
         self.stats.statements_executed += 1
         # Statements arriving outside the prepare/bind path (execute_script,
         # direct calls) must not smuggle unbound placeholders into storage.
@@ -320,9 +325,10 @@ class InstantDB:
             )
         resolved = self._resolve_purpose(purpose)
         if isinstance(statement, ast.Explain):
-            return self._execute_explain(statement, resolved)
+            return self._execute_explain(statement, resolved, txn)
         if isinstance(statement, ast.Select):
-            return self._execute_select(statement, resolved, txn, prepared)
+            return self._execute_select(statement, resolved, txn, prepared,
+                                        stream=stream)
         if isinstance(statement, ast.Insert):
             return self._execute_insert(statement, txn)
         if isinstance(statement, ast.Update):
@@ -372,7 +378,8 @@ class InstantDB:
 
     def _execute_select(self, statement: ast.Select, purpose: Optional[Purpose],
                         txn: Optional[Transaction],
-                        prepared: Optional[PreparedStatement] = None) -> QueryResult:
+                        prepared: Optional[PreparedStatement] = None,
+                        stream: bool = False) -> Any:
         own_txn = txn is None
         active = txn or self.transactions.begin(now=self.clock.now())
         try:
@@ -386,10 +393,14 @@ class InstantDB:
                 self.statements.stats.plan_hits += plan is not None
                 self.statements.stats.plan_misses += plan is None
             if plan is None:
-                plan = self.planner.plan_select(statement, purpose)
+                plan = self.planner.plan_physical(statement, purpose)
                 if cacheable:
                     prepared.store_plan(purpose, self.catalog.version, plan)
-            result = self.executor.execute_plan(plan)
+            if stream and not own_txn:
+                # The caller's transaction keeps the read locks while the
+                # cursor drains the pipeline lazily.
+                return self.executor.stream_physical(plan)
+            result = self.executor.execute_physical(plan)
         except BaseException:
             if own_txn and self.transactions.is_active(active.txn_id):
                 self.transactions.abort(active, now=self.clock.now())
@@ -399,13 +410,35 @@ class InstantDB:
         return result
 
     def _execute_explain(self, statement: ast.Explain,
-                         purpose: Optional[Purpose]) -> QueryResult:
+                         purpose: Optional[Purpose],
+                         txn: Optional[Transaction] = None) -> QueryResult:
         inner = statement.statement
         if not isinstance(inner, ast.Select):
             return QueryResult(columns=["plan"],
                                rows=[(f"{type(inner).__name__} statement",)])
-        plan = self.planner.plan_select(inner, purpose)
+        plan = self.planner.plan_physical(inner, purpose)
+        _columns, root = self.executor.build(plan)
+        if statement.analyze:
+            # EXPLAIN ANALYZE: run the pipeline so the rendered tree carries
+            # the actual per-operator row counts.  The run takes the same
+            # shared locks a plain SELECT would — analyzing must not read
+            # past a concurrent writer.
+            own_txn = txn is None
+            active = txn or self.transactions.begin(now=self.clock.now())
+            try:
+                self._locked(active, inner.table, exclusive=False)
+                for clause in inner.joins:
+                    self._locked(active, clause.table, exclusive=False)
+                for _row in root:
+                    pass
+            except BaseException:
+                if own_txn and self.transactions.is_active(active.txn_id):
+                    self.transactions.abort(active, now=self.clock.now())
+                raise
+            if own_txn:
+                self.transactions.commit(active, now=self.clock.now())
         lines = plan.describe().splitlines()
+        lines.extend(root.explain_lines(analyze=statement.analyze))
         return QueryResult(columns=["plan"], rows=[(line,) for line in lines])
 
     # ------------------------------------------------------------------ INSERT

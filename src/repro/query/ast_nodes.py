@@ -235,6 +235,9 @@ class DropTable(Statement):
 @dataclass(frozen=True)
 class Explain(Statement):
     statement: Statement
+    #: ``EXPLAIN ANALYZE``: execute the statement and annotate the rendered
+    #: operator tree with per-operator row counts.
+    analyze: bool = False
 
 
 __all__ = [

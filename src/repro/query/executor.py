@@ -1,41 +1,50 @@
-"""Query execution with degradation-aware semantics.
+"""Query execution over the streaming operator pipeline.
 
 The executor implements the paper's selection and projection operators
 ``σ_{P,k}`` and ``π_{*,k}``: data referenced at a demanded accuracy level ``k``
 is degraded with ``f_k`` *before* the predicate is evaluated, and only tuples
 for which level ``k`` is computable (i.e. stored at an accuracy of at least
-``k``) participate in the result.  Everything else is a conventional iterator
-engine: scans, filters, hash joins, grouping/aggregation, ordering, limits.
+``k``) participate in the result.  Execution itself is delegated to the
+Volcano-style operators in :mod:`repro.query.operators`: the executor turns a
+:class:`~repro.query.planner.PhysicalPlan` into an operator tree and either
+materializes it into a :class:`QueryResult` or hands back a
+:class:`~repro.query.operators.StreamingResult` that cursors drain lazily.
 """
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
-from ..core.errors import BindingError, ExecutionError, ParameterError
+from ..core.errors import ExecutionError
 from ..core.policy import Purpose
-from ..core.values import NULL, SUPPRESSED, is_missing, sort_key
-from ..index.gt_index import GTIndex
-from ..storage.degradable_store import StoredRow, TableStore
+from ..storage.degradable_store import StoredRow
 from . import ast_nodes as ast
 from .catalog import Catalog
-from .planner import AccessPath, Planner, SelectPlan, TableScanPlan
-
-#: Callable giving the executor access to a table's storage manager.
-StoreProvider = Callable[[str], TableStore]
-
-#: Key under which the logical row key is exposed in visible rows.
-ROW_KEY_FIELD = "__row_key__"
+from .operators import (
+    ROW_KEY_FIELD,
+    Operator,
+    PipelineRuntime,
+    StoreProvider,
+    StreamingResult,
+    build_match_pipeline,
+    build_pipeline,
+)
+from .planner import PhysicalPlan, Planner, SelectPlan
 
 
 @dataclass
 class QueryResult:
-    """Result of a SELECT: column names plus value tuples."""
+    """Result of a SELECT: column names plus value tuples.
+
+    ``pipeline`` is the executed operator tree — its per-operator
+    :class:`~repro.query.operators.OperatorStats` show how many rows crossed
+    each stage (the EXPLAIN ANALYZE numbers).
+    """
 
     columns: List[str]
     rows: List[Tuple[Any, ...]]
+    pipeline: Optional[Operator] = field(default=None, repr=False, compare=False)
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         return [dict(zip(self.columns, row)) for row in self.rows]
@@ -56,6 +65,9 @@ class QueryResult:
 
 @dataclass
 class ExecutorStats:
+    """Aggregate counters across executions (per-operator counts live on the
+    operator trees; see :attr:`Executor.last_pipeline`)."""
+
     rows_scanned: int = 0
     rows_excluded_not_computable: int = 0
     rows_returned: int = 0
@@ -64,38 +76,65 @@ class ExecutorStats:
 
 
 class Executor:
-    """Interprets :class:`SelectPlan` objects against the table stores."""
+    """Runs physical plans against the table stores."""
 
     def __init__(self, catalog: Catalog, store_provider: StoreProvider) -> None:
         self.catalog = catalog
         self.stores = store_provider
         self.planner = Planner(catalog)
         self.stats = ExecutorStats()
+        #: Operator tree of the most recent execution (stats introspection).
+        self.last_pipeline: Optional[Operator] = None
+        self._runtime = PipelineRuntime(catalog=catalog, stores=store_provider,
+                                        stats=self.stats)
 
     # ------------------------------------------------------------------ SELECT
 
     def execute_select(self, statement: ast.Select,
                        purpose: Optional[Purpose] = None) -> QueryResult:
-        plan = self.planner.plan_select(statement, purpose)
-        return self.execute_plan(plan)
+        plan = self.planner.plan_physical(statement, purpose)
+        return self.execute_physical(plan)
 
-    def execute_plan(self, plan: SelectPlan) -> QueryResult:
-        statement = plan.statement
-        rows = list(self._scan(plan.base))
-        for clause, scan in plan.joins:
-            rows = list(self._join(rows, clause, scan))
-        if statement.where is not None:
-            rows = [row for row in rows if _truthy(self._evaluate(statement.where, row))]
-        if statement.is_aggregate:
-            columns, result_rows = self._aggregate(statement, rows, plan)
-        else:
-            columns, result_rows = self._project(statement, rows, plan)
-        if statement.order_by:
-            result_rows = self._order(statement, columns, result_rows)
-        if statement.limit is not None:
-            result_rows = result_rows[: statement.limit]
-        self.stats.rows_returned += len(result_rows)
-        return QueryResult(columns=columns, rows=result_rows)
+    def execute_plan(self, plan: Union[SelectPlan, PhysicalPlan]) -> QueryResult:
+        """Execute a plan; logical :class:`SelectPlan` objects are upgraded."""
+        if isinstance(plan, SelectPlan):
+            plan = self.planner.plan_physical(plan.statement, plan.purpose)
+        return self.execute_physical(plan)
+
+    def execute_physical(self, plan: PhysicalPlan) -> QueryResult:
+        """Materialize the pipeline into a :class:`QueryResult`."""
+        columns, root = build_pipeline(self._runtime, plan)
+        rows = list(root)
+        self.stats.rows_returned += len(rows)
+        self.last_pipeline = root
+        return QueryResult(columns=columns, rows=rows, pipeline=root)
+
+    def stream_physical(self, plan: PhysicalPlan) -> StreamingResult:
+        """Open the pipeline without draining it (lazy cursor traversal).
+
+        The first row is pulled eagerly so binding errors in predicates and
+        output expressions surface at execute time, not at the first fetch;
+        everything past it is computed on demand.
+        """
+        columns, root = build_pipeline(self._runtime, plan)
+        self.last_pipeline = root
+        iterator = iter(root)
+        first = next(iterator, _EXHAUSTED)
+
+        def rows() -> Iterator[Tuple[Any, ...]]:
+            if first is _EXHAUSTED:
+                return
+            self.stats.rows_returned += 1
+            yield first
+            for row in iterator:
+                self.stats.rows_returned += 1
+                yield row
+
+        return StreamingResult(columns=columns, rows_iter=rows(), pipeline=root)
+
+    def build(self, plan: PhysicalPlan) -> Tuple[List[str], Operator]:
+        """Instantiate (but do not run) the operator tree — EXPLAIN's input."""
+        return build_pipeline(self._runtime, plan)
 
     # -------------------------------------------------------------- DML helpers
 
@@ -105,353 +144,24 @@ class Executor:
 
         Predicates are evaluated on the degraded view (the paper's view-style
         delete semantics) but the *stored* rows are returned so the caller can
-        mutate them.
+        mutate them.  The match runs through the same scan + residual-filter
+        pipeline as SELECTs, so DML benefits from access paths and residual
+        pushdown too.
         """
-        plan = self.planner.plan_select(
+        plan = self.planner.plan_physical(
             ast.Select(table=table, items=(ast.Star(),), where=where), purpose
         )
+        root = build_match_pipeline(self._runtime, plan)
         store = self.stores(plan.base.table)
-        matches: List[StoredRow] = []
-        for visible in self._scan(plan.base):
-            if where is not None and not _truthy(self._evaluate(where, visible)):
-                continue
-            matches.append(store.read(visible[ROW_KEY_FIELD]))
-        return matches
-
-    # ----------------------------------------------------------------- scanning
-
-    def _scan(self, scan: TableScanPlan) -> Iterator[Dict[str, Any]]:
-        store = self.stores(scan.table)
-        info = self.catalog.table(scan.table)
-        access = scan.access
-        if access.kind == "seq":
-            self.stats.seq_scans += 1
-            candidates: Iterable[StoredRow] = store.scan()
-        else:
-            self.stats.index_lookups += 1
-            candidates = store.fetch(iter(self._candidate_keys(access)))
-        for row in candidates:
-            self.stats.rows_scanned += 1
-            visible = self._visible_row(info.schema, scan, row)
-            if visible is None:
-                self.stats.rows_excluded_not_computable += 1
-                continue
-            yield visible
-
-    def _candidate_keys(self, access: AccessPath) -> List[int]:
-        index = access.index.index
-        if access.kind == "index_eq":
-            return index.search(access.key)
-        if access.kind == "index_range":
-            return index.range_search(access.low, access.high,
-                                      include_low=access.include_low,
-                                      include_high=access.include_high)
-        if access.kind == "gt_level":
-            if not isinstance(index, GTIndex):
-                raise ExecutionError(
-                    f"access path gt_level requires a GT index, got {index.kind}"
-                )
-            return index.search_at(access.key, access.level)
-        raise ExecutionError(f"unknown access path kind {access.kind!r}")
-
-    def _visible_row(self, schema, scan: TableScanPlan,
-                     row: StoredRow) -> Optional[Dict[str, Any]]:
-        """Build the degraded view of ``row`` at the demanded accuracy levels.
-
-        Returns ``None`` when some demanded level is not computable from the
-        stored state (the tuple is excluded from the query, per the paper).
-        """
-        visible: Dict[str, Any] = {ROW_KEY_FIELD: row.row_key}
-        for column in schema.columns:
-            value = row.values[column.name]
-            if column.degradable:
-                demanded = scan.demanded_levels.get(column.name, 0)
-                stored_level = row.levels[column.name]
-                if demanded is not None:
-                    if stored_level > demanded:
-                        return None
-                    if stored_level < demanded and not is_missing(value):
-                        scheme = self.catalog.scheme_for(scan.table, column.name)
-                        value = scheme.generalize(value, demanded, from_level=stored_level)
-            visible[column.name] = value
-            visible[f"{scan.alias}.{column.name}"] = value
-            if scan.alias != scan.table:
-                visible[f"{scan.table}.{column.name}"] = value
-        return visible
-
-    # -------------------------------------------------------------------- joins
-
-    def _join(self, left_rows: List[Dict[str, Any]], clause: ast.JoinClause,
-              scan: TableScanPlan) -> Iterator[Dict[str, Any]]:
-        right_rows = list(self._scan(scan))
-        left_key = clause.left
-        right_key = clause.right
-        # Decide which side of the ON clause belongs to the joined table.
-        def belongs_to_right(ref: ast.ColumnRef) -> bool:
-            return ref.table in (scan.alias, scan.table)
-
-        if belongs_to_right(left_key) and not belongs_to_right(right_key):
-            left_key, right_key = right_key, left_key
-        build: Dict[Any, List[Dict[str, Any]]] = {}
-        for right_row in right_rows:
-            key = self._lookup(right_key, right_row)
-            build.setdefault(_hashable(key), []).append(right_row)
-        right_columns = [
-            key for key in (right_rows[0].keys() if right_rows else [])
-        ]
-        for left_row in left_rows:
-            key = _hashable(self._lookup(left_key, left_row))
-            matches = build.get(key, [])
-            if matches:
-                for right_row in matches:
-                    merged = dict(left_row)
-                    merged.update({k: v for k, v in right_row.items() if k != ROW_KEY_FIELD})
-                    yield merged
-            elif clause.kind == "left":
-                merged = dict(left_row)
-                merged.update({
-                    key: NULL for key in right_columns if key != ROW_KEY_FIELD
-                })
-                yield merged
-
-    # --------------------------------------------------------------- projection
-
-    def _output_items(self, statement: ast.Select,
-                      plan: SelectPlan) -> List[Tuple[str, ast.Expression]]:
-        items: List[Tuple[str, ast.Expression]] = []
-        for item in statement.items:
-            if isinstance(item, ast.Star):
-                schema = self.catalog.table(plan.base.table).schema
-                for column in schema.columns:
-                    items.append((column.name, ast.ColumnRef(column=column.name,
-                                                             table=plan.base.alias)))
-                for clause, scan in plan.joins:
-                    join_schema = self.catalog.table(scan.table).schema
-                    for column in join_schema.columns:
-                        items.append((f"{scan.alias}.{column.name}",
-                                      ast.ColumnRef(column=column.name, table=scan.alias)))
-            else:
-                items.append((item.output_name, item.expression))
-        return items
-
-    def _project(self, statement: ast.Select, rows: List[Dict[str, Any]],
-                 plan: SelectPlan) -> Tuple[List[str], List[Tuple[Any, ...]]]:
-        items = self._output_items(statement, plan)
-        columns = [name for name, _expr in items]
-        result = []
-        for row in rows:
-            result.append(tuple(self._evaluate(expr, row) for _name, expr in items))
-        return columns, result
-
-    # --------------------------------------------------------------- aggregation
-
-    def _aggregate(self, statement: ast.Select, rows: List[Dict[str, Any]],
-                   plan: SelectPlan) -> Tuple[List[str], List[Tuple[Any, ...]]]:
-        group_columns = list(statement.group_by)
-        groups: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
-        for row in rows:
-            key = tuple(_hashable(self._lookup(ref, row)) for ref in group_columns)
-            groups.setdefault(key, []).append(row)
-        if not group_columns and not groups:
-            groups[()] = []
-        items: List[Tuple[str, ast.Expression]] = []
-        for item in statement.items:
-            if isinstance(item, ast.Star):
-                raise BindingError("SELECT * cannot be combined with aggregation")
-            items.append((item.output_name, item.expression))
-        columns = [name for name, _expr in items]
-        result_rows: List[Tuple[Any, ...]] = []
-        for key, members in sorted(groups.items(), key=lambda kv: tuple(sort_key(v) for v in kv[0])):
-            representative = members[0] if members else {}
-            values = []
-            for _name, expression in items:
-                if isinstance(expression, ast.Aggregate):
-                    values.append(self._compute_aggregate(expression, members))
-                else:
-                    values.append(self._evaluate(expression, representative))
-            candidate = dict(zip(columns, values))
-            if statement.having is not None:
-                scope = dict(representative)
-                scope.update(candidate)
-                if not _truthy(self._evaluate(statement.having, scope)):
-                    continue
-            result_rows.append(tuple(values))
-        return columns, result_rows
-
-    def _compute_aggregate(self, aggregate: ast.Aggregate,
-                           rows: List[Dict[str, Any]]) -> Any:
-        function = aggregate.function.upper()
-        if aggregate.argument is None:
-            values: List[Any] = [1 for _ in rows]
-        else:
-            values = [self._lookup(aggregate.argument, row) for row in rows]
-            values = [value for value in values if not is_missing(value)]
-        if aggregate.distinct:
-            seen = []
-            for value in values:
-                if value not in seen:
-                    seen.append(value)
-            values = seen
-        if function == "COUNT":
-            return len(values)
-        numeric = [value for value in values if isinstance(value, (int, float))
-                   and not isinstance(value, bool)]
-        if function == "SUM":
-            return sum(numeric) if numeric else NULL
-        if function == "AVG":
-            return sum(numeric) / len(numeric) if numeric else NULL
-        if function == "MIN":
-            return min(values, key=sort_key) if values else NULL
-        if function == "MAX":
-            return max(values, key=sort_key) if values else NULL
-        raise ExecutionError(f"unsupported aggregate {function}")
-
-    # ------------------------------------------------------------------ ordering
-
-    def _order(self, statement: ast.Select, columns: List[str],
-               rows: List[Tuple[Any, ...]]) -> List[Tuple[Any, ...]]:
-        ordered = list(rows)
-        for item in reversed(statement.order_by):
-            name_candidates = [item.column.column, item.column.qualified]
-            position = None
-            for candidate in name_candidates:
-                if candidate in columns:
-                    position = columns.index(candidate)
-                    break
-            if position is None:
-                raise BindingError(
-                    f"ORDER BY column {item.column.qualified!r} is not in the output"
-                )
-            ordered.sort(key=lambda row: sort_key(row[position]), reverse=item.descending)
-        return ordered
-
-    # ----------------------------------------------------------------- expressions
-
-    def _lookup(self, ref: ast.ColumnRef, row: Dict[str, Any]) -> Any:
-        if ref.table is not None:
-            qualified = f"{ref.table}.{ref.column}"
-            if qualified in row:
-                return row[qualified]
-        if ref.column in row:
-            return row[ref.column]
-        if ref.table is None:
-            # Try any qualified match (single unambiguous suffix).
-            matches = [key for key in row if key.endswith(f".{ref.column}")]
-            if len(matches) == 1:
-                return row[matches[0]]
-            if len(matches) > 1:
-                raise BindingError(f"ambiguous column reference {ref.column!r}")
-        raise BindingError(f"unknown column {ref.qualified!r}")
-
-    def _evaluate(self, expression: ast.Expression, row: Dict[str, Any]) -> Any:
-        if isinstance(expression, ast.Literal):
-            return expression.value
-        if isinstance(expression, ast.Placeholder):
-            raise ParameterError(
-                "statement has unbound '?' placeholders; pass params= "
-                "(or use a Cursor) to bind them"
-            )
-        if isinstance(expression, ast.ColumnRef):
-            return self._lookup(expression, row)
-        if isinstance(expression, ast.Comparison):
-            return self._compare(expression, row)
-        if isinstance(expression, ast.InList):
-            value = self._evaluate(expression.operand, row)
-            if is_missing(value):
-                return False
-            result = any(_equal(value, candidate) for candidate in expression.values)
-            return not result if expression.negated else result
-        if isinstance(expression, ast.Between):
-            value = self._evaluate(expression.operand, row)
-            low = self._evaluate(expression.low, row)
-            high = self._evaluate(expression.high, row)
-            if is_missing(value) or is_missing(low) or is_missing(high):
-                return False
-            result = sort_key(low) <= sort_key(value) <= sort_key(high)
-            return not result if expression.negated else result
-        if isinstance(expression, ast.IsNull):
-            value = self._evaluate(expression.operand, row)
-            result = value is NULL or value is None or value is SUPPRESSED
-            return not result if expression.negated else result
-        if isinstance(expression, ast.BooleanOp):
-            if expression.operator == "AND":
-                return all(_truthy(self._evaluate(op, row)) for op in expression.operands)
-            return any(_truthy(self._evaluate(op, row)) for op in expression.operands)
-        if isinstance(expression, ast.Not):
-            return not _truthy(self._evaluate(expression.operand, row))
-        if isinstance(expression, ast.Aggregate):
-            raise BindingError(
-                f"aggregate {expression.display_name} used outside an aggregate query"
-            )
-        raise ExecutionError(f"cannot evaluate expression {expression!r}")
-
-    def _compare(self, comparison: ast.Comparison, row: Dict[str, Any]) -> bool:
-        left = self._evaluate(comparison.left, row)
-        right = self._evaluate(comparison.right, row)
-        operator = comparison.operator
-        if operator == "LIKE":
-            if is_missing(left) or is_missing(right):
-                return False
-            return _like(str(left), str(right))
-        if is_missing(left) or is_missing(right):
-            return False
-        if operator == "=":
-            return _equal(left, right)
-        if operator == "!=":
-            return not _equal(left, right)
-        left_key, right_key = sort_key(left), sort_key(right)
-        if operator == "<":
-            return left_key < right_key
-        if operator == "<=":
-            return left_key <= right_key
-        if operator == ">":
-            return left_key > right_key
-        if operator == ">=":
-            return left_key >= right_key
-        raise ExecutionError(f"unsupported comparison operator {operator!r}")
+        return [store.read(visible[ROW_KEY_FIELD]) for visible in root]
 
 
-def _truthy(value: Any) -> bool:
-    return bool(value) and not is_missing(value)
+class _Exhausted:
+    """Sentinel distinguishing 'no first row' from a first row of None."""
 
 
-def _equal(left: Any, right: Any) -> bool:
-    if isinstance(left, (int, float)) and isinstance(right, (int, float)) \
-            and not isinstance(left, bool) and not isinstance(right, bool):
-        return float(left) == float(right)
-    if isinstance(left, str) and isinstance(right, str):
-        return left.lower() == right.lower()
-    return left == right
+_EXHAUSTED = _Exhausted()
 
 
-def _hashable(value: Any) -> Any:
-    if isinstance(value, str):
-        return value.lower()
-    try:
-        hash(value)
-        return value
-    except TypeError:
-        return repr(value)
-
-
-_LIKE_CACHE: Dict[str, re.Pattern] = {}
-
-
-def _like(value: str, pattern: str) -> bool:
-    """SQL LIKE with ``%`` and ``_`` wildcards (case-insensitive)."""
-    compiled = _LIKE_CACHE.get(pattern)
-    if compiled is None:
-        parts = []
-        for char in pattern:
-            if char == "%":
-                parts.append(".*")
-            elif char == "_":
-                parts.append(".")
-            else:
-                parts.append(re.escape(char))
-        compiled = re.compile(f"^{''.join(parts)}$", re.IGNORECASE | re.DOTALL)
-        _LIKE_CACHE[pattern] = compiled
-    return compiled.match(value) is not None
-
-
-__all__ = ["Executor", "QueryResult", "ExecutorStats", "ROW_KEY_FIELD", "StoreProvider"]
+__all__ = ["Executor", "QueryResult", "ExecutorStats", "ROW_KEY_FIELD",
+           "StoreProvider"]

@@ -37,7 +37,8 @@ def _parse_statement(stream: TokenStream) -> ast.Statement:
     token = stream.peek()
     if token.matches_keyword("EXPLAIN"):
         stream.advance()
-        return ast.Explain(_parse_statement(stream))
+        analyze = bool(stream.accept_keyword("ANALYZE"))
+        return ast.Explain(_parse_statement(stream), analyze=analyze)
     if token.matches_keyword("SELECT"):
         return _parse_select(stream)
     if token.matches_keyword("INSERT"):

@@ -1,4 +1,4 @@
-"""Logical planning: accuracy binding and access-path selection.
+"""Logical and physical planning: accuracy binding, access paths, residuals.
 
 Planning a ``SELECT`` involves two degradation-specific steps on top of the
 usual access-path choice:
@@ -10,6 +10,12 @@ usual access-path choice:
   hash/B+-tree/bitmap indexes as usual; equality predicates on *degradable*
   columns can use the degradation-aware :class:`~repro.index.gt_index.GTIndex`
   probed at the demanded accuracy level.
+
+The physical step (:meth:`Planner.plan_physical`) additionally splits the
+WHERE clause into the conjuncts the chosen access path already guarantees and
+the **residual** predicate the executor still has to evaluate per row — the
+operator pipeline then filters on the residual only, instead of re-evaluating
+the full WHERE clause behind an index probe.
 """
 
 from __future__ import annotations
@@ -95,8 +101,39 @@ class SelectPlan:
         return "\n".join(lines)
 
 
+@dataclass
+class PhysicalPlan:
+    """Physical plan of a SELECT: scans plus the residual predicate.
+
+    ``residual`` is what remains of the WHERE clause after removing the
+    conjuncts the base access path already guarantees (``None`` when nothing
+    is left).  With joins the full WHERE clause stays residual — it is
+    evaluated after the joins, where unqualified column references may bind to
+    join-side columns.  This object is immutable per (statement, purpose,
+    catalog version) and is what prepared statements cache; per-execution
+    state lives in the operator tree built from it.
+    """
+
+    statement: ast.Select
+    base: TableScanPlan
+    joins: List[Tuple[ast.JoinClause, TableScanPlan]] = field(default_factory=list)
+    purpose: Optional[Purpose] = None
+    residual: Optional[ast.Expression] = None
+
+    def describe(self) -> str:
+        lines = [f"Select from {self.base.describe()}"]
+        for clause, scan in self.joins:
+            lines.append(
+                f"  {clause.kind} join {scan.describe()} on "
+                f"{clause.left.qualified} = {clause.right.qualified}"
+            )
+        if self.purpose is not None:
+            lines.append(f"  purpose: {self.purpose.name}")
+        return "\n".join(lines)
+
+
 class Planner:
-    """Builds :class:`SelectPlan` objects from parsed statements."""
+    """Builds :class:`SelectPlan` / :class:`PhysicalPlan` objects."""
 
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
@@ -105,13 +142,46 @@ class Planner:
 
     def plan_select(self, statement: ast.Select,
                     purpose: Optional[Purpose] = None) -> SelectPlan:
-        base = self._plan_table(statement.table, statement.table_alias,
-                                statement.where, purpose)
+        base, _consumed = self._plan_table(statement.table, statement.table_alias,
+                                           statement.where, purpose)
         joins: List[Tuple[ast.JoinClause, TableScanPlan]] = []
         for clause in statement.joins:
-            scan = self._plan_table(clause.table, clause.alias, None, purpose)
+            scan, _ = self._plan_table(clause.table, clause.alias, None, purpose)
             joins.append((clause, scan))
         return SelectPlan(statement=statement, base=base, joins=joins, purpose=purpose)
+
+    def plan_physical(self, statement: ast.Select,
+                      purpose: Optional[Purpose] = None) -> PhysicalPlan:
+        """Plan a SELECT down to the physical level (access path + residual)."""
+        base, consumed = self._plan_table(statement.table, statement.table_alias,
+                                          statement.where, purpose)
+        joins: List[Tuple[ast.JoinClause, TableScanPlan]] = []
+        for clause in statement.joins:
+            scan, _ = self._plan_table(clause.table, clause.alias, None, purpose)
+            joins.append((clause, scan))
+        residual = self._residual(statement, consumed, bool(joins))
+        return PhysicalPlan(statement=statement, base=base, joins=joins,
+                            purpose=purpose, residual=residual)
+
+    def _residual(self, statement: ast.Select,
+                  consumed: List[ast.Expression],
+                  has_joins: bool) -> Optional[ast.Expression]:
+        where = statement.where
+        if where is None:
+            return None
+        if has_joins:
+            # Unqualified column names in the WHERE clause may resolve to a
+            # joined table's column on the merged row; keep the full predicate
+            # so post-join evaluation stays exactly as before.
+            return where
+        consumed_ids = {id(conjunct) for conjunct in consumed}
+        remaining = [conjunct for conjunct in _flatten_and(where)
+                     if id(conjunct) not in consumed_ids]
+        if not remaining:
+            return None
+        if len(remaining) == 1:
+            return remaining[0]
+        return ast.BooleanOp(operator="AND", operands=tuple(remaining))
 
     def demanded_levels_for(self, table: str,
                             purpose: Optional[Purpose]) -> Dict[str, Optional[int]]:
@@ -131,21 +201,30 @@ class Planner:
 
     def _plan_table(self, table: str, alias: Optional[str],
                     where: Optional[ast.Expression],
-                    purpose: Optional[Purpose]) -> TableScanPlan:
+                    purpose: Optional[Purpose]) -> Tuple[TableScanPlan,
+                                                         List[ast.Expression]]:
+        """Plan one table's scan; also return the conjuncts the access path
+        fully covers (they can be dropped from the residual predicate)."""
         info = self.catalog.table(table)
         demanded = self.demanded_levels_for(table, purpose)
-        access = self._choose_access(info.name, alias or info.name, where, demanded)
-        return TableScanPlan(table=info.name, alias=(alias or info.name).lower(),
+        access, consumed = self._choose_access(info.name, alias or info.name,
+                                               where, demanded)
+        plan = TableScanPlan(table=info.name, alias=(alias or info.name).lower(),
                              access=access, demanded_levels=demanded)
+        return plan, consumed
 
     def _choose_access(self, table: str, alias: str,
                        where: Optional[ast.Expression],
-                       demanded: Dict[str, int]) -> AccessPath:
+                       demanded: Dict[str, int]) -> Tuple[AccessPath,
+                                                          List[ast.Expression]]:
         if where is None:
-            return AccessPath(kind="seq")
+            return AccessPath(kind="seq"), []
         info = self.catalog.table(table)
         conjuncts = _flatten_and(where)
-        # First preference: equality on an indexed column.
+        # First preference: equality on an indexed column.  An equality probe
+        # returns exactly the rows whose (visible) value matches the key, so
+        # the conjunct is covered — except for a NULL key, where predicate
+        # semantics (always false) and index semantics may differ.
         for conjunct in conjuncts:
             match = _as_column_literal(conjunct, table, alias)
             if match is None:
@@ -161,14 +240,19 @@ class Planner:
                         # Unconstrained accuracy: the stored level varies per
                         # row, so the GT index cannot be probed at one level.
                         continue
-                    return AccessPath(kind="gt_level", column=column, index=index_info,
+                    path = AccessPath(kind="gt_level", column=column, index=index_info,
                                       key=value, level=level)
+                    return path, ([] if value is None else [conjunct])
                 if not column_def.degradable and operator == "=" and \
                         index_info.method in ("btree", "hash", "bitmap"):
-                    return AccessPath(kind="index_eq", column=column,
+                    path = AccessPath(kind="index_eq", column=column,
                                       index=index_info, key=value)
-        # Second preference: range on a B+-tree indexed stable column.
+                    return path, ([] if value is None else [conjunct])
+        # Second preference: range on a B+-tree indexed stable column.  Only
+        # the conjunct that supplied each *final* bound is covered: an earlier
+        # bound overwritten by a later conjunct must stay in the residual.
         ranges: Dict[str, AccessPath] = {}
+        bound_sources: Dict[str, Dict[str, ast.Expression]] = {}
         for conjunct in conjuncts:
             match = _as_column_literal(conjunct, table, alias)
             if match is None:
@@ -185,23 +269,36 @@ class Planner:
             ]
             if not btree_indexes:
                 continue
+            # A NULL bound cannot feed the index (the predicate is always
+            # false, the index edge would be unbounded); leave the conjunct
+            # to the residual filter.
+            if operator == "between":
+                if value[0] is None or value[1] is None:
+                    continue
+            elif value is None:
+                continue
             path = ranges.setdefault(
                 column, AccessPath(kind="index_range", column=column,
                                    index=btree_indexes[0])
             )
+            sources = bound_sources.setdefault(column, {})
             if operator in (">", ">="):
                 path.low = value
                 path.include_low = operator == ">="
+                sources["low"] = conjunct
             elif operator in ("<", "<="):
                 path.high = value
                 path.include_high = operator == "<="
+                sources["high"] = conjunct
             elif operator == "between":
                 path.low, path.high = value
                 path.include_low = path.include_high = True
-        for path in ranges.values():
+                sources["low"] = sources["high"] = conjunct
+        for column, path in ranges.items():
             if path.low is not None or path.high is not None:
-                return path
-        return AccessPath(kind="seq")
+                consumed = list({id(c): c for c in bound_sources[column].values()}.values())
+                return path, consumed
+        return AccessPath(kind="seq"), []
 
 
 def _flatten_and(expression: ast.Expression) -> List[ast.Expression]:
@@ -239,4 +336,4 @@ def _as_column_literal(expression: ast.Expression, table: str,
     return None
 
 
-__all__ = ["Planner", "SelectPlan", "TableScanPlan", "AccessPath"]
+__all__ = ["Planner", "SelectPlan", "PhysicalPlan", "TableScanPlan", "AccessPath"]

@@ -7,11 +7,13 @@ A :class:`PreparedStatement` is immutable once parsed: binding parameters
 and never mutates the cached tree, so one prepared statement can safely be
 bound N times inside ``executemany``.
 
-Parameter-free ``SELECT`` statements additionally cache their query *plan*
-per (purpose, catalog version): repeated identical queries — the common shape
-of the OLTP benchmark mixes — skip accuracy binding and access-path selection
-entirely.  A catalog change (new table, index or purpose) bumps the catalog
-version and implicitly invalidates every cached plan.
+Parameter-free ``SELECT`` statements additionally cache their *physical*
+plan per (purpose, catalog version): repeated identical queries — the common
+shape of the OLTP benchmark mixes — skip accuracy binding, access-path
+selection and the residual-predicate split entirely; only the (cheap)
+operator-tree instantiation happens per execution.  A catalog change (new
+table, index or purpose) bumps the catalog version and implicitly invalidates
+every cached plan.
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ from ..core.policy import Purpose
 from . import ast_nodes as ast
 from .parameters import bind_parameters, count_placeholders
 from .parser import parse
-from .planner import SelectPlan
+from .planner import PhysicalPlan
 
 
 @dataclass
@@ -35,8 +37,9 @@ class PreparedStatement:
     statement: ast.Statement
     param_count: int
     executions: int = 0
-    #: (purpose name, catalog version) -> plan; only used when param_count == 0.
-    _plans: Dict[Tuple[Optional[str], int], SelectPlan] = field(default_factory=dict)
+    #: (purpose name, catalog version) -> physical plan; only used when
+    #: param_count == 0.
+    _plans: Dict[Tuple[Optional[str], int], PhysicalPlan] = field(default_factory=dict)
 
     def bind(self, params: Optional[Sequence[Any]] = None) -> ast.Statement:
         """Return an executable statement with ``params`` substituted."""
@@ -49,13 +52,13 @@ class PreparedStatement:
     # -- plan reuse ----------------------------------------------------------
 
     def cached_plan(self, purpose: Optional[Purpose],
-                    catalog_version: int) -> Optional[SelectPlan]:
+                    catalog_version: int) -> Optional[PhysicalPlan]:
         if self.param_count != 0:
             return None
         return self._plans.get((_purpose_key(purpose), catalog_version))
 
     def store_plan(self, purpose: Optional[Purpose], catalog_version: int,
-                   plan: SelectPlan) -> None:
+                   plan: PhysicalPlan) -> None:
         if self.param_count != 0:
             return
         # Plans from stale catalog versions can never be reused again.

@@ -23,7 +23,7 @@ KEYWORDS = {
     "AVG", "MIN", "MAX", "DISTINCT", "DECLARE", "PURPOSE", "ACCURACY", "LEVEL",
     "FOR", "DEGRADABLE", "POLICY", "LIFECYCLE", "AFTER", "THEN", "REMOVE",
     "DROP", "TRUE", "FALSE", "BEGIN", "COMMIT", "ROLLBACK", "INDEX", "USING",
-    "EXPLAIN", "HAVING",
+    "EXPLAIN", "HAVING", "ANALYZE",
 }
 
 

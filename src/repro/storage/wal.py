@@ -66,19 +66,32 @@ class LogRecord:
     before: Optional[bytes] = None
     after: Optional[bytes] = None
     timestamp: float = 0.0
+    #: Memoized wire encoding.  Records are immutable, so the payload is
+    #: computed at most once; ``dataclasses.replace`` (scrubbing) builds a new
+    #: record and therefore a fresh encoding.
+    _encoded: Optional[bytes] = field(default=None, init=False, repr=False,
+                                      compare=False)
 
     def encode(self) -> bytes:
-        return encode_record([
-            self.lsn,
-            self.txn_id,
-            self.record_type.value,
-            self.table,
-            self.row_key,
-            self.attribute,
-            self.before if self.before is not None else False,
-            self.after if self.after is not None else False,
-            float(self.timestamp),
-        ])
+        cached = self._encoded
+        if cached is None:
+            cached = encode_record([
+                self.lsn,
+                self.txn_id,
+                self.record_type.value,
+                self.table,
+                self.row_key,
+                self.attribute,
+                self.before if self.before is not None else False,
+                self.after if self.after is not None else False,
+                float(self.timestamp),
+            ])
+            object.__setattr__(self, "_encoded", cached)
+        return cached
+
+    @property
+    def encoding_cached(self) -> bool:
+        return self._encoded is not None
 
     @classmethod
     def decode(cls, payload: bytes) -> "LogRecord":
@@ -110,6 +123,11 @@ class WALStats:
     #: Bytes physically written to the log file (appends and rewrites alike);
     #: the benchmark guard that the durability path stays O(n), not O(n^2).
     bytes_written: int = 0
+    #: Payload encodings actually computed (vs. served from the per-record
+    #: cache); the guard that scrub/truncate rewrites do not re-encode every
+    #: surviving record.
+    payload_encodes: int = 0
+    payload_cache_hits: int = 0
 
 
 class WriteAheadLog:
@@ -166,7 +184,7 @@ class WriteAheadLog:
             if pending:
                 with open(self.path, "ab") as handle:
                     for record in pending:
-                        payload = record.encode()
+                        payload = self._payload(record)
                         handle.write(_LEN_STRUCT.pack(len(payload)))
                         handle.write(payload)
                         self.stats.bytes_written += _LEN_STRUCT.size + len(payload)
@@ -174,6 +192,14 @@ class WriteAheadLog:
                     os.fsync(handle.fileno())
         self._flushed_lsn = self._records[-1].lsn if self._records else self._flushed_lsn
         self.stats.flushed += 1
+
+    def _payload(self, record: LogRecord) -> bytes:
+        """Wire encoding of ``record``, tracking cache effectiveness."""
+        if record.encoding_cached:
+            self.stats.payload_cache_hits += 1
+        else:
+            self.stats.payload_encodes += 1
+        return record.encode()
 
     @property
     def last_lsn(self) -> int:
@@ -215,8 +241,12 @@ class WriteAheadLog:
 
         This is what makes scrubbing affordable on the degradation hot path:
         a batch of n expiring rows pays a single O(log) scan and a single file
-        rewrite instead of n of each.  One SCRUB audit record is appended per
-        key that had images.  Returns the total number of records scrubbed.
+        rewrite instead of n of each.  One *aggregate* SCRUB audit record is
+        appended per batch (its ``attribute`` names the touched-key count and
+        its ``after`` payload carries the count), so a mass-removal wave grows
+        the log by O(1) audit bytes instead of O(n).  A single-key scrub keeps
+        the per-row audit shape (table + row key).  Returns the total number
+        of records scrubbed.
         """
         targets = set(keys)
         if not targets:
@@ -235,9 +265,19 @@ class WriteAheadLog:
         if scrubbed:
             self.stats.scrubbed_records += scrubbed
             self.stats.scrub_rewrites += 1
-            for table, row_key in sorted(touched):
+            tables = sorted({table for table, _row_key in touched})
+            if len(touched) == 1:
+                table, row_key = next(iter(touched))
                 self.append(LogRecordType.SCRUB, txn_id=0, table=table,
                             row_key=row_key, timestamp=now)
+            else:
+                self.append(
+                    LogRecordType.SCRUB, txn_id=0,
+                    table=tables[0] if len(tables) == 1 else "",
+                    row_key=-1, attribute=f"batch:{len(touched)}",
+                    after=encode_record([len(touched), scrubbed]),
+                    timestamp=now,
+                )
             if self.path is not None:
                 self._rewrite_file()
         return scrubbed
@@ -260,7 +300,7 @@ class WriteAheadLog:
         tmp_path = self.path + ".tmp"
         with open(tmp_path, "wb") as handle:
             for record in self._records:
-                payload = record.encode()
+                payload = self._payload(record)
                 handle.write(_LEN_STRUCT.pack(len(payload)))
                 handle.write(payload)
                 self.stats.bytes_written += _LEN_STRUCT.size + len(payload)
@@ -284,7 +324,12 @@ class WriteAheadLog:
             offset += _LEN_STRUCT.size
             if offset + length > len(data):
                 break
-            self._records.append(LogRecord.decode(data[offset:offset + length]))
+            payload = data[offset:offset + length]
+            record = LogRecord.decode(payload)
+            # The bytes just read *are* the encoding; seed the cache so a
+            # later rewrite does not re-encode recovered records.
+            object.__setattr__(record, "_encoded", payload)
+            self._records.append(record)
             offset += length
             valid_until = offset
         if valid_until < len(data):
@@ -301,7 +346,7 @@ class WriteAheadLog:
 
     def raw_image(self) -> bytes:
         """Every byte currently held by the log (forensic scanning)."""
-        return b"".join(record.encode() for record in self._records)
+        return b"".join(self._payload(record) for record in self._records)
 
     def close(self) -> None:
         if self.path is not None:

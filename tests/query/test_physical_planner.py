@@ -1,0 +1,177 @@
+"""Physical planning: access-path selection and the residual-predicate split."""
+
+import pytest
+
+from repro.core.domains import build_location_tree, build_salary_ranges
+from repro.core.lcp import AttributeLCP
+from repro.core.policy import Purpose
+from repro.core.schema import Column, TableSchema
+from repro.index.btree import BPlusTreeIndex
+from repro.index.gt_index import GTIndex
+from repro.index.hashindex import HashIndex
+from repro.query import ast_nodes as ast
+from repro.query.catalog import Catalog, IndexInfo
+from repro.query.operators import render_expression
+from repro.query.parser import parse
+from repro.query.planner import Planner
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    location = catalog.registry.register_domain(build_location_tree())
+    catalog.registry.register_domain(build_salary_ranges())
+    catalog.registry.register_policy(
+        AttributeLCP(location, transitions=["1 h", "1 d", "1 month", "3 months"],
+                     name="location_lcp"))
+    schema = TableSchema("person", [
+        Column("id", "INT", primary_key=True),
+        Column("name", "TEXT"),
+        Column("location", "TEXT", degradable=True, domain="location",
+               policy="location_lcp"),
+        Column("salary", "INT"),
+    ])
+    catalog.add_table(schema)
+    catalog.add_index(IndexInfo(name="idx_id", table="person", column="id",
+                                method="hash", index=HashIndex("idx_id")))
+    catalog.add_index(IndexInfo(name="idx_salary", table="person", column="salary",
+                                method="btree", index=BPlusTreeIndex("idx_salary")))
+    catalog.add_index(IndexInfo(name="idx_loc", table="person", column="location",
+                                method="gt",
+                                index=GTIndex("idx_loc", location)))
+    return catalog
+
+
+@pytest.fixture
+def planner(catalog):
+    return Planner(catalog)
+
+
+def plan(planner, sql, purpose=None):
+    return planner.plan_physical(parse(sql), purpose)
+
+
+class TestAccessPathSelection:
+    def test_no_where_uses_seq_scan(self, planner):
+        physical = plan(planner, "SELECT * FROM person")
+        assert physical.base.access.kind == "seq"
+        assert physical.residual is None
+
+    def test_unindexed_predicate_uses_seq_scan(self, planner):
+        physical = plan(planner, "SELECT * FROM person WHERE name = 'alice'")
+        assert physical.base.access.kind == "seq"
+        assert physical.residual is not None
+
+    def test_equality_on_hash_indexed_column(self, planner):
+        physical = plan(planner, "SELECT * FROM person WHERE id = 7")
+        assert physical.base.access.kind == "index_eq"
+        assert physical.base.access.column == "id"
+        assert physical.base.access.key == 7
+
+    def test_range_on_btree_indexed_column(self, planner):
+        physical = plan(planner,
+                        "SELECT * FROM person WHERE salary >= 1000 AND salary < 3000")
+        access = physical.base.access
+        assert access.kind == "index_range"
+        assert (access.low, access.high) == (1000, 3000)
+        assert access.include_low and not access.include_high
+
+    def test_gt_level_on_degradable_column_with_purpose(self, planner):
+        purpose = Purpose("stat").require("person", "location", "city")
+        physical = plan(planner, "SELECT * FROM person WHERE location = 'Paris'",
+                        purpose)
+        access = physical.base.access
+        assert access.kind == "gt_level"
+        assert access.level == 1          # city
+        assert access.key == "Paris"
+
+    def test_unconstrained_accuracy_falls_back_to_seq(self, planner):
+        """A purpose that does not mention the column leaves its accuracy
+        unconstrained (stored level varies per row), so the GT index cannot
+        be probed at one level and the planner keeps a sequential scan."""
+        purpose = Purpose("other")        # no requirement on person.location
+        physical = plan(planner, "SELECT * FROM person WHERE location = 'Paris'",
+                        purpose)
+        assert physical.base.access.kind == "seq"
+        assert physical.residual is not None    # predicate still evaluated
+
+    def test_degradable_range_never_uses_btree(self, planner):
+        physical = plan(planner,
+                        "SELECT * FROM person WHERE location >= 'A' AND location <= 'Z'")
+        assert physical.base.access.kind == "seq"
+
+
+class TestResidualSplit:
+    def test_fully_covered_where_has_no_residual(self, planner):
+        physical = plan(planner, "SELECT * FROM person WHERE id = 7")
+        assert physical.residual is None
+
+    def test_uncovered_conjuncts_stay_residual(self, planner):
+        physical = plan(planner,
+                        "SELECT * FROM person WHERE id = 7 AND name = 'alice'")
+        assert physical.base.access.kind == "index_eq"
+        assert render_expression(physical.residual) == "name = 'alice'"
+
+    def test_range_bounds_are_covered(self, planner):
+        physical = plan(planner,
+                        "SELECT * FROM person WHERE salary >= 1000 AND salary < 3000")
+        assert physical.residual is None
+
+    def test_between_is_covered(self, planner):
+        physical = plan(planner,
+                        "SELECT * FROM person WHERE salary BETWEEN 1000 AND 3000")
+        assert physical.base.access.kind == "index_range"
+        assert physical.residual is None
+
+    def test_overwritten_range_bound_stays_residual(self, planner):
+        """Two lower bounds on one column: the index keeps only the last one,
+        so the other must still be checked per row."""
+        physical = plan(planner,
+                        "SELECT * FROM person WHERE salary > 2000 AND salary > 500")
+        access = physical.base.access
+        assert access.kind == "index_range"
+        assert access.low == 500
+        assert render_expression(physical.residual) == "salary > 2000"
+
+    def test_gt_covered_conjunct_dropped(self, planner):
+        purpose = Purpose("stat").require("person", "location", "city")
+        physical = plan(planner,
+                        "SELECT * FROM person WHERE location = 'Paris' AND salary > 100",
+                        purpose)
+        assert physical.base.access.kind == "gt_level"
+        assert render_expression(physical.residual) == "salary > 100"
+
+    def test_null_equality_key_is_not_covered(self, planner):
+        physical = plan(planner, "SELECT * FROM person WHERE id = NULL")
+        assert physical.residual is not None
+
+    def test_joins_keep_the_full_where_clause(self, planner, catalog):
+        other = TableSchema("team", [
+            Column("id", "INT", primary_key=True),
+            Column("city", "TEXT"),
+        ])
+        catalog.add_table(other)
+        physical = plan(planner,
+                        "SELECT person.name FROM person "
+                        "JOIN team ON person.id = team.id WHERE id = 7")
+        assert physical.base.access.kind == "index_eq"
+        # Unqualified `id` may bind to team.id on the merged row, so the
+        # predicate is re-evaluated after the join.
+        assert physical.residual is not None
+
+    def test_or_predicate_is_never_split(self, planner):
+        physical = plan(planner,
+                        "SELECT * FROM person WHERE id = 7 OR name = 'alice'")
+        assert physical.base.access.kind == "seq"
+        assert isinstance(physical.residual, ast.BooleanOp)
+
+
+class TestPlanCachingShape:
+    def test_physical_plan_is_what_prepared_statements_cache(self, planner):
+        from repro.query.planner import PhysicalPlan
+        physical = plan(planner, "SELECT * FROM person WHERE id = 7")
+        assert isinstance(physical, PhysicalPlan)
+        # Planning twice yields equivalent plans (no shared mutable state
+        # beyond the immutable AST/stats-free descriptors).
+        again = plan(planner, "SELECT * FROM person WHERE id = 7")
+        assert again.base.access.kind == physical.base.access.kind
