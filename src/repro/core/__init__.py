@@ -44,7 +44,12 @@ from .generalization import (
 )
 from .lcp import NEVER, AttributeLCP, Transition, TupleLCP, freeze_state, thaw_state
 from .policy import AccuracyRequirement, PolicyRegistry, Purpose, TablePolicy
-from .scheduler import DegradationScheduler, DegradationStep, SchedulerStats
+from .scheduler import (
+    DegradationScheduler,
+    DegradationStep,
+    SchedulerSnapshot,
+    SchedulerStats,
+)
 from .schema import Column, TableSchema
 from .values import NULL, REMOVED, SUPPRESSED, AccuracyTagged, ValueType, coerce, is_missing, sort_key
 
@@ -67,7 +72,7 @@ __all__ = [
     # policy
     "Purpose", "AccuracyRequirement", "PolicyRegistry", "TablePolicy",
     # scheduler
-    "DegradationScheduler", "DegradationStep", "SchedulerStats",
+    "DegradationScheduler", "DegradationStep", "SchedulerSnapshot", "SchedulerStats",
     # schema
     "Column", "TableSchema",
     # values

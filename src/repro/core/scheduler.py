@@ -26,6 +26,18 @@ The scheduler also supports the paper's future-work extensions:
   :class:`~repro.core.lcp.TupleLCP`, so different tuples may follow different
   automata.
 
+The schedule is also **durable** (PR 4): :meth:`DegradationScheduler.snapshot`
+captures every registration together with its queued steps (including
+deferrals and event-released steps, verbatim with their queue positions) as a
+:class:`SchedulerSnapshot` that flattens to plain serializable fields, and
+:meth:`DegradationScheduler.restore_from` rebuilds a scheduler from one.  The
+``replay_applied`` / ``replay_defer`` methods let crash recovery re-apply the
+WAL's schedule records on top of a snapshot without touching stats or
+completion callbacks.  The scheduler itself stays policy-agnostic: restoring
+needs a ``resolve_lcp(record_id)`` callback (provided by the engine) that
+returns the record's :class:`~repro.core.lcp.TupleLCP` — or ``None`` to drop
+registrations whose row no longer exists.
+
 Timeliness statistics (lag between the scheduled due time and the time the
 step is actually applied) are collected for the C2 benchmark.
 """
@@ -35,7 +47,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .errors import DegradationError
 from .lcp import NEVER, TupleLCP
@@ -124,6 +136,187 @@ class _Registration:
             if transition.timed and float(transition.delay) != NEVER:
                 count += 1
         return count
+
+
+#: Resolver callback used when restoring a snapshot or replaying a
+#: registration: maps ``(record_id, policy_names)`` back to the record's
+#: TupleLCP (or None to drop it from the schedule).  ``policy_names`` is the
+#: persisted attribute → policy-name mapping when the log carries one — the
+#: reliable way to re-resolve per-tuple overrides, since the row's selector
+#: value may have been degraded or updated since registration.
+LCPResolver = Callable[[Any, Optional[Dict[str, str]]], Optional[TupleLCP]]
+
+
+@dataclass
+class RegistrationSnapshot:
+    """Serializable image of one :class:`_Registration` and its queued steps."""
+
+    record_id: Any
+    inserted_at: float
+    current_states: Dict[str, int]
+    entered_at: Dict[str, float]
+    #: Attributes blocked on a named event (attribute -> event name).
+    waiting_on: Dict[str, str]
+    #: Queued steps captured verbatim: attribute -> (step due time, queue
+    #: position).  The two differ for deferred steps (original due, retry at)
+    #: and capture event-released steps that have left ``waiting_on``.
+    pending: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: Attribute -> policy name, so restoring re-resolves the exact automaton
+    #: (per-tuple overrides included) without consulting the stored selector
+    #: value, which may have degraded since registration.
+    policies: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class SchedulerSnapshot:
+    """Full image of a scheduler's live state (the checkpointed due-queue).
+
+    ``to_fields`` / ``from_fields`` flatten the snapshot to a list of plain
+    serializable values (strings, ints, floats, bools) so the storage layer
+    can encode it into a single WAL record without this module depending on
+    the record codec.
+    """
+
+    registrations: List[RegistrationSnapshot] = field(default_factory=list)
+    taken_at: float = 0.0
+
+    _MAGIC = "sched-snapshot"
+    _VERSION = 1
+
+    def _registration_field_count(self, snap: RegistrationSnapshot) -> int:
+        return len(self._record_id_fields(snap.record_id)) + 2 \
+            + 8 * len(snap.current_states)
+
+    def chunked(self, max_fields: int = 60000) -> List["SchedulerSnapshot"]:
+        """Split into snapshots whose flattened form fits a record codec cap.
+
+        Each chunk is a self-contained snapshot of a subset of registrations
+        (same ``taken_at``); restoring every chunk restores the whole queue.
+        A 10k-registration queue flattens to well over the storage codec's
+        65535-field record limit, so checkpoints write one WAL record per
+        chunk.
+        """
+        chunks: List[SchedulerSnapshot] = []
+        current: List[RegistrationSnapshot] = []
+        used = 4                     # magic, version, taken_at, count
+        for snap in self.registrations:
+            needed = self._registration_field_count(snap)
+            if current and used + needed > max_fields:
+                chunks.append(SchedulerSnapshot(registrations=current,
+                                                taken_at=self.taken_at))
+                current = []
+                used = 4
+            current.append(snap)
+            used += needed
+        chunks.append(SchedulerSnapshot(registrations=current,
+                                        taken_at=self.taken_at))
+        return chunks
+
+    @staticmethod
+    def _record_id_fields(record_id: Any) -> List[Any]:
+        if (isinstance(record_id, tuple) and len(record_id) == 2
+                and isinstance(record_id[0], str)):
+            return [0, record_id[0], int(record_id[1])]
+        if isinstance(record_id, str):
+            return [1, record_id]
+        if isinstance(record_id, int):
+            return [2, record_id]
+        raise DegradationError(
+            f"record id {record_id!r} is not serializable for a schedule "
+            "snapshot (expected (table, row_key), str or int)"
+        )
+
+    def to_fields(self) -> List[Any]:
+        """Flatten to plain values for WAL encoding."""
+        fields: List[Any] = [self._MAGIC, self._VERSION, float(self.taken_at),
+                             len(self.registrations)]
+        for snap in self.registrations:
+            fields.extend(self._record_id_fields(snap.record_id))
+            fields.append(float(snap.inserted_at))
+            fields.append(len(snap.current_states))
+            for attribute in sorted(snap.current_states):
+                waiting = snap.waiting_on.get(attribute, False)
+                pending = snap.pending.get(attribute)
+                fields.extend([
+                    attribute,
+                    snap.policies.get(attribute, False),
+                    int(snap.current_states[attribute]),
+                    float(snap.entered_at.get(attribute, snap.inserted_at)),
+                    waiting if waiting else False,
+                    pending is not None,
+                    float(pending[0]) if pending else 0.0,
+                    float(pending[1]) if pending else 0.0,
+                ])
+        return fields
+
+    @classmethod
+    def from_fields(cls, fields: Sequence[Any]) -> "SchedulerSnapshot":
+        """Rebuild a snapshot from :meth:`to_fields` output."""
+        if len(fields) < 4 or fields[0] != cls._MAGIC:
+            raise DegradationError("malformed scheduler snapshot payload")
+        if int(fields[1]) != cls._VERSION:
+            raise DegradationError(
+                f"unsupported scheduler snapshot version {fields[1]!r}"
+            )
+        try:
+            return cls._parse_fields(fields)
+        except (IndexError, ValueError, TypeError) as error:
+            # A truncated or corrupted payload fails with the module's typed
+            # error, like the magic/version/marker checks above.
+            raise DegradationError(
+                f"malformed scheduler snapshot payload: {error}"
+            ) from error
+
+    @classmethod
+    def _parse_fields(cls, fields: Sequence[Any]) -> "SchedulerSnapshot":
+        cursor = 2
+        taken_at = float(fields[cursor]); cursor += 1
+        reg_count = int(fields[cursor]); cursor += 1
+        registrations: List[RegistrationSnapshot] = []
+        for _ in range(reg_count):
+            marker = int(fields[cursor]); cursor += 1
+            if marker == 0:
+                record_id: Any = (str(fields[cursor]), int(fields[cursor + 1]))
+                cursor += 2
+            elif marker == 1:
+                record_id = str(fields[cursor]); cursor += 1
+            elif marker == 2:
+                record_id = int(fields[cursor]); cursor += 1
+            else:
+                raise DegradationError(
+                    f"unknown record-id marker {marker} in scheduler snapshot"
+                )
+            inserted_at = float(fields[cursor]); cursor += 1
+            attr_count = int(fields[cursor]); cursor += 1
+            current_states: Dict[str, int] = {}
+            entered_at: Dict[str, float] = {}
+            waiting_on: Dict[str, str] = {}
+            pending: Dict[str, Tuple[float, float]] = {}
+            policies: Dict[str, str] = {}
+            for _ in range(attr_count):
+                if cursor + 8 > len(fields):
+                    raise DegradationError(
+                        "malformed scheduler snapshot payload: truncated "
+                        "attribute entry"
+                    )
+                (attribute, policy_name, state, entered, waiting,
+                 has_pending, due, at) = fields[cursor:cursor + 8]
+                cursor += 8
+                attribute = str(attribute)
+                current_states[attribute] = int(state)
+                entered_at[attribute] = float(entered)
+                if policy_name:
+                    policies[attribute] = str(policy_name)
+                if waiting:
+                    waiting_on[attribute] = str(waiting)
+                if has_pending:
+                    pending[attribute] = (float(due), float(at))
+            registrations.append(RegistrationSnapshot(
+                record_id=record_id, inserted_at=inserted_at,
+                current_states=current_states, entered_at=entered_at,
+                waiting_on=waiting_on, pending=pending, policies=policies,
+            ))
+        return cls(registrations=registrations, taken_at=taken_at)
 
 
 #: Applier callback: receives the step and must perform the physical
@@ -217,20 +410,26 @@ class DegradationScheduler:
         return cancelled
 
     def is_registered(self, record_id: Any) -> bool:
+        """Whether ``record_id`` is currently tracked by the scheduler."""
         return record_id in self._registrations
 
     def registered_count(self) -> int:
+        """Number of live registrations (records not yet in their final state)."""
         return len(self._registrations)
 
     def current_state(self, record_id: Any) -> Dict[str, int]:
-        registration = self._registration(record_id)
-        return dict(registration.current_states)
+        """Per-attribute state indices of ``record_id``.
 
-    def _registration(self, record_id: Any) -> _Registration:
-        try:
-            return self._registrations[record_id]
-        except KeyError:
-            raise DegradationError(f"record {record_id!r} is not registered") from None
+        Returns an **empty dict** for ids the scheduler does not track —
+        records never registered, already completed, or cancelled.  An empty
+        mapping therefore means "no pending degradation", which callers can
+        branch on without catching exceptions; use :meth:`is_registered` to
+        distinguish "unknown" from "completed" if it matters.
+        """
+        registration = self._registrations.get(record_id)
+        if registration is None:
+            return {}
+        return dict(registration.current_states)
 
     # -- scheduling internals -------------------------------------------------
 
@@ -282,6 +481,10 @@ class DegradationScheduler:
         heapq.heappush(self._heap, (until, next(self._counter), deferred))
 
     # -- events ----------------------------------------------------------------
+
+    def has_waiters(self, event: str) -> bool:
+        """Whether any registered attribute is blocked on ``event``."""
+        return bool(self._event_waiters.get(event))
 
     def fire_event(self, event: str, now: float) -> List[DegradationStep]:
         """Release every step waiting on ``event``; due time is ``now``."""
@@ -459,6 +662,194 @@ class DegradationScheduler:
             count += 1
         return count
 
+    # -- durability: snapshot / restore / replay -------------------------------
+
+    def snapshot(self, now: float = 0.0) -> SchedulerSnapshot:
+        """Capture the live schedule (registrations + queued steps) verbatim.
+
+        Queued steps are recorded with both their original due time and their
+        current queue position, so deferrals (re-queued at a later retry time)
+        and event-released steps survive a round trip exactly.  Stale heap
+        entries are skipped.  The snapshot holds no attribute values and no
+        policy objects — restoring resolves policies through a callback.
+        """
+        pending: Dict[Any, Dict[str, Tuple[float, float]]] = {}
+        for at, _seq, step in self._heap:
+            registration = self._registrations.get(step.record_id)
+            if registration is None:
+                continue
+            if registration.current_states.get(step.attribute) != step.from_state:
+                continue
+            per_record = pending.setdefault(step.record_id, {})
+            existing = per_record.get(step.attribute)
+            if existing is None or at < existing[1]:
+                per_record[step.attribute] = (step.due, at)
+        registrations = [
+            RegistrationSnapshot(
+                record_id=record_id,
+                inserted_at=registration.inserted_at,
+                current_states=dict(registration.current_states),
+                entered_at=dict(registration.entered_at),
+                waiting_on=dict(registration.waiting_on),
+                pending=pending.get(record_id, {}),
+                policies={
+                    attribute: lcp.name
+                    for attribute, lcp in registration.tuple_lcp.attributes.items()
+                },
+            )
+            for record_id, registration in self._registrations.items()
+        ]
+        return SchedulerSnapshot(registrations=registrations, taken_at=now)
+
+    def restore_from(self, snapshot: SchedulerSnapshot,
+                     resolve_lcp: LCPResolver) -> int:
+        """Rebuild registrations and the due-queue from ``snapshot``.
+
+        ``resolve_lcp(record_id)`` supplies each record's
+        :class:`~repro.core.lcp.TupleLCP` (the snapshot carries no policy
+        objects); returning ``None`` drops the registration — the engine uses
+        this to discard records whose row was deleted before or during
+        recovery.  Registrations that no longer fit the resolved policy
+        (attribute set or state out of range) and already-final ones are
+        skipped.  Existing registrations are kept, not overwritten.  Returns
+        the number of registrations restored.
+        """
+        restored = 0
+        for snap in snapshot.registrations:
+            if self._restore_registration(snap, resolve_lcp):
+                restored += 1
+        return restored
+
+    def _restore_registration(self, snap: RegistrationSnapshot,
+                              resolve_lcp: LCPResolver) -> bool:
+        if snap.record_id in self._registrations:
+            return False
+        tuple_lcp = resolve_lcp(snap.record_id, snap.policies or None)
+        if tuple_lcp is None:
+            return False
+        if set(tuple_lcp.attributes) != set(snap.current_states):
+            return False
+        for name, lcp in tuple_lcp.attributes.items():
+            if not 0 <= snap.current_states[name] < lcp.num_states:
+                return False
+        registration = _Registration(
+            record_id=snap.record_id,
+            tuple_lcp=tuple_lcp,
+            inserted_at=snap.inserted_at,
+            current_states=dict(snap.current_states),
+            entered_at=dict(snap.entered_at),
+            waiting_on=dict(snap.waiting_on),
+        )
+        if registration.is_final():
+            return False
+        self._registrations[snap.record_id] = registration
+        for attribute, lcp in tuple_lcp.attributes.items():
+            state = registration.current_states[attribute]
+            if state + 1 >= lcp.num_states:
+                continue
+            queued = snap.pending.get(attribute)
+            if queued is not None:
+                # Re-queue the captured step verbatim: original due time for
+                # lag accounting, captured position for ordering (they differ
+                # for deferred steps).
+                due, at = queued
+                transition = lcp.transitions[state]
+                registration.waiting_on.pop(attribute, None)
+                step = DegradationStep(
+                    record_id=snap.record_id, attribute=attribute,
+                    from_state=state, to_state=state + 1, due=due,
+                    event=None if transition.timed else transition.event,
+                )
+                heapq.heappush(self._heap, (at, next(self._counter), step))
+            elif attribute in registration.waiting_on:
+                self._event_waiters.setdefault(
+                    registration.waiting_on[attribute], []
+                ).append((snap.record_id, attribute))
+            else:
+                self._schedule_next(registration, attribute)
+        return True
+
+    def replay_applied(self, record_id: Any, attribute: str, to_state: int,
+                       due: float) -> bool:
+        """Recovery replay of a logged step application.
+
+        Advances ``attribute`` to ``to_state`` exactly like
+        :meth:`_mark_applied` — enters the new state at the step's ``due``
+        time and schedules the follow-up transition — but records no lag
+        statistics and fires no completion callback (the physical effects
+        were already redone from the data log records).  Registrations that
+        reach their final tuple state are dropped.  Returns whether the
+        replay applied (``False`` when the registration is unknown or not in
+        the expected source state — the step was already replayed or the
+        record moved on).
+        """
+        registration = self._registrations.get(record_id)
+        if registration is None:
+            return False
+        if registration.current_states.get(attribute) != to_state - 1:
+            return False
+        event = registration.waiting_on.pop(attribute, None)
+        if event is not None:
+            waiters = self._event_waiters.get(event)
+            if waiters:
+                remaining = [entry for entry in waiters
+                             if entry != (record_id, attribute)]
+                if remaining:
+                    self._event_waiters[event] = remaining
+                else:
+                    del self._event_waiters[event]
+        registration.current_states[attribute] = to_state
+        registration.entered_at[attribute] = due
+        self._schedule_next(registration, attribute)
+        if registration.is_final():
+            del self._registrations[record_id]
+        return True
+
+    def replay_defer(self, record_id: Any, attribute: str, from_state: int,
+                     due: float, until: float) -> bool:
+        """Recovery replay of one logged deferral (see :meth:`replay_defers`)."""
+        return self.replay_defers(
+            [(record_id, attribute, from_state, due, until)]) == 1
+
+    def replay_defers(self,
+                      entries: List[Tuple[Any, str, int, float, float]]) -> int:
+        """Recovery replay of a batch of logged deferrals.
+
+        Each ``(record_id, attribute, from_state, due, until)`` entry moves
+        the queued step for ``(record_id, attribute)`` to retry at ``until``
+        while keeping its original ``due`` for lag accounting — mirroring
+        :meth:`defer`, which operates on steps already popped from the queue,
+        whereas replay must first displace the reconstructed entries.  The
+        whole batch pays one queue rebuild (a SCHED_DEFER record covers a
+        whole conflict-deferred table batch).  Returns the number of
+        deferrals applied.
+        """
+        valid: List[Tuple[Any, str, int, float, float]] = []
+        for record_id, attribute, from_state, due, until in entries:
+            registration = self._registrations.get(record_id)
+            if registration is None:
+                continue
+            if registration.current_states.get(attribute) != from_state:
+                continue
+            valid.append((record_id, attribute, from_state, due, until))
+        if not valid:
+            return 0
+        displaced = {(record_id, attribute)
+                     for record_id, attribute, *_rest in valid}
+        self._heap = [
+            entry for entry in self._heap
+            if (entry[2].record_id, entry[2].attribute) not in displaced
+        ]
+        for record_id, attribute, from_state, due, until in valid:
+            step = DegradationStep(
+                record_id=record_id, attribute=attribute,
+                from_state=from_state, to_state=from_state + 1, due=due,
+            )
+            self._heap.append((until, next(self._counter), step))
+        heapq.heapify(self._heap)
+        return len(valid)
+
 
 __all__ = ["DegradationStep", "DegradationBatch", "DegradationScheduler",
-           "SchedulerStats", "StepApplier", "BatchApplier", "CompletionCallback"]
+           "SchedulerStats", "SchedulerSnapshot", "RegistrationSnapshot",
+           "StepApplier", "BatchApplier", "CompletionCallback", "LCPResolver"]

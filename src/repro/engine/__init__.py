@@ -1,11 +1,11 @@
 """Engine facade: the InstantDB database, DDL handling and the degradation daemon."""
 
 from .daemon import DaemonStats, DegradationDaemon
-from .database import EngineStats, InstantDB
+from .database import EngineRecovery, EngineStats, InstantDB
 from .ddl import INDEX_METHODS, build_index, build_schema, build_table_policy
 
 __all__ = [
-    "InstantDB", "EngineStats",
+    "InstantDB", "EngineStats", "EngineRecovery",
     "DegradationDaemon", "DaemonStats",
     "build_schema", "build_table_policy", "build_index", "INDEX_METHODS",
 ]

@@ -63,13 +63,45 @@ from ..storage.buffer import BufferPool
 from ..storage.crypto import KeyStore
 from ..storage.degradable_store import TableStore
 from ..storage.pager import open_pager
-from ..storage.wal import LogRecordType, WriteAheadLog
+from ..storage.serialization import encode_record
+from ..storage.wal import (
+    LogRecordType,
+    WriteAheadLog,
+    encode_page_directory,
+    encode_policy_names,
+    encode_schedule_defers,
+    encode_schedule_steps,
+)
+from ..txn.recovery import RecoveryManager, RecoveryReport, ScheduleReplayReport
 from ..txn.transaction import Transaction, TransactionManager
 from . import ddl
 from .daemon import DegradationDaemon
 
 #: Back-off applied when a degradation step hits a lock conflict.
 _CONFLICT_RETRY_SECONDS = 1.0
+
+#: Max step/defer entries per schedule WAL record: an unbounded wave must be
+#: split across records to respect the record codec's 65535-field cap
+#: (steps flatten to 4 fields each, defers to 5, plus a count).
+_SCHED_RECORD_CHUNK = 10_000
+
+
+@dataclass
+class EngineRecovery:
+    """Outcome of :meth:`InstantDB.recover` (asserted on by crash tests)."""
+
+    #: Data recovery summary (redo/undo counts, winner/loser transactions).
+    recovery: RecoveryReport
+    #: Schedule replay summary (snapshot + tail replay counts).
+    schedule: ScheduleReplayReport
+    #: Live registrations after the schedule was reconstructed.
+    registrations: int = 0
+    #: Steps that had come due while the process was down and were applied by
+    #: the catch-up drain (batched through the normal pipeline).
+    overdue_steps_applied: int = 0
+    #: Time the engine recovered to (simulated clocks are fast-forwarded to
+    #: the last timestamp the log proves had been reached).
+    recovered_to: float = 0.0
 
 
 @dataclass
@@ -213,9 +245,21 @@ class InstantDB:
         return self.daemon.run_pending(self.clock.now())
 
     def fire_event(self, event: str) -> List[DegradationStep]:
-        """Fire a named event releasing event-triggered transitions, then run them."""
-        self.scheduler.fire_event(event, self.clock.now())
-        return self.daemon.run_pending(self.clock.now())
+        """Fire a named event releasing event-triggered transitions, then run them.
+
+        The firing is logged and flushed *before* the released steps run: if
+        the process dies mid-drain, recovery re-fires the event at the same
+        timestamp and the unapplied steps come back overdue.  Events nothing
+        waits on are a no-op live and in replay, so they skip the log record
+        and its fsync entirely.
+        """
+        now = self.clock.now()
+        if self.scheduler.has_waiters(event):
+            self.wal.append(LogRecordType.SCHED_EVENT, 0, attribute=event,
+                            timestamp=now)
+            self.wal.flush()
+            self.scheduler.fire_event(event, now)
+        return self.daemon.run_pending(now)
 
     # ------------------------------------------------------------------ transactions
 
@@ -481,6 +525,20 @@ class InstantDB:
                 tuple_lcp = info.policy.tuple_lcp(selector_value)
                 self.scheduler.register((table, row_key), tuple_lcp, now)
                 self._tuple_lcps[(table, row_key)] = tuple_lcp
+                # The registration becomes durable with the transaction's
+                # commit flush; recovery replays it only if the txn committed.
+                # The payload names each attribute's policy so replay can
+                # re-resolve per-tuple overrides even after the selector
+                # value itself has degraded (values never enter the log).
+                self.wal.append(
+                    LogRecordType.SCHED_REGISTER, active.txn_id,
+                    table=table, row_key=row_key,
+                    after=encode_policy_names({
+                        attribute: lcp.name
+                        for attribute, lcp in tuple_lcp.attributes.items()
+                    }),
+                    timestamp=now,
+                )
             active.on_abort(lambda: self._undo_insert(table, row_key))
         except BaseException:
             if own_txn and self.transactions.is_active(active.txn_id):
@@ -603,6 +661,15 @@ class InstantDB:
                 self.scheduler.cancel((table, row_key))
                 self._tuple_lcps.pop((table, row_key), None)
                 store.remove(row_key, now=self.clock.now())
+        # The TABLE_DROP marker closes the table's log *epoch*: it is written
+        # after the drop's own removals so every record up to and including
+        # the marker belongs to the dropped incarnation.  Recovery skips
+        # those records — whether the name is gone from the catalog or has
+        # been re-created since (a fresh table reuses row keys; replaying
+        # old-epoch removals against it would delete committed rows).
+        self.wal.append(LogRecordType.TABLE_DROP, 0, table=table,
+                        timestamp=self.clock.now())
+        self.wal.flush()
 
     def _execute_declare_purpose(self, statement: ast.DeclarePurpose) -> Purpose:
         purpose = Purpose(statement.name)
@@ -667,10 +734,7 @@ class InstantDB:
         except DeadlockError:
             granted = False
         if not granted:
-            self.transactions.abort(txn, now=now, reason="degradation lock conflict")
-            self.transactions.note_reader_degrader_conflict()
-            self.stats.degradation_conflicts += 1
-            self.scheduler.defer(step, now + _CONFLICT_RETRY_SECONDS)
+            self._defer_conflicted(table, [step], txn, now)
             return False
         try:
             info = self.catalog.table(table)
@@ -687,12 +751,45 @@ class InstantDB:
                                                    new_value, to_level, row_key)
                 else:
                     index_info.index.update(old_value, new_value, row_key)
+            # The schedule advance rides in the same system transaction as the
+            # DEGRADE record: one commit flush makes both durable, and replay
+            # honours the step only if that transaction committed.
+            self.wal.append(
+                LogRecordType.SCHED_STEP, txn.txn_id, table=table,
+                after=encode_schedule_steps(
+                    [(row_key, step.attribute, step.to_state, step.due)]),
+                timestamp=now,
+            )
         except BaseException:
             self.transactions.abort(txn, now=now)
             raise
         self.transactions.commit(txn, now=now)
         self.stats.degradation_steps_applied += 1
         return True
+
+    def _defer_conflicted(self, table: str, steps: List[DegradationStep],
+                          txn: Transaction, now: float) -> None:
+        """Shared lock-conflict protocol for the per-step and batch paths.
+
+        The SCHED_DEFER record(s) are appended *before* the abort so the
+        abort's durable flush carries them (chunked under the record codec's
+        field cap); the steps are then re-queued at the retry time.
+        """
+        until = now + _CONFLICT_RETRY_SECONDS
+        entries = [(step.record_id[1], step.attribute, step.from_state,
+                    step.due, until) for step in steps]
+        for start in range(0, len(entries), _SCHED_RECORD_CHUNK):
+            self.wal.append(
+                LogRecordType.SCHED_DEFER, 0, table=table,
+                after=encode_schedule_defers(
+                    entries[start:start + _SCHED_RECORD_CHUNK]),
+                timestamp=now,
+            )
+        self.transactions.abort(txn, now=now, reason="degradation lock conflict")
+        self.transactions.note_reader_degrader_conflict()
+        self.stats.degradation_conflicts += 1
+        for step in steps:
+            self.scheduler.defer(step, until)
 
     def _apply_degradation_batch(self, table: str,
                                  steps: List[DegradationStep]) -> List[DegradationStep]:
@@ -722,11 +819,7 @@ class InstantDB:
         except DeadlockError:
             granted = False
         if not granted:
-            self.transactions.abort(txn, now=now, reason="degradation lock conflict")
-            self.transactions.note_reader_degrader_conflict()
-            self.stats.degradation_conflicts += 1
-            for step in live:
-                self.scheduler.defer(step, now + _CONFLICT_RETRY_SECONDS)
+            self._defer_conflicted(table, live, txn, now)
             return []
         # Order steps by heap page (the store's row→page map): degrade_many
         # coalesces page flushes either way, but page order keeps the rewrite
@@ -758,6 +851,19 @@ class InstantDB:
                     for outcome in moves:
                         index_info.index.update(outcome.old_value,
                                                 outcome.new_value, outcome.row_key)
+            # Schedule records for the whole batch (chunked under the record
+            # codec's field cap), inside the same system transaction as its
+            # DEGRADE records: the single commit flush makes data and
+            # schedule durable together.
+            entries = [(step.record_id[1], step.attribute, step.to_state,
+                        step.due) for step in live]
+            for start in range(0, len(entries), _SCHED_RECORD_CHUNK):
+                self.wal.append(
+                    LogRecordType.SCHED_STEP, txn.txn_id, table=table,
+                    after=encode_schedule_steps(
+                        entries[start:start + _SCHED_RECORD_CHUNK]),
+                    timestamp=now,
+                )
         except BaseException:
             self.transactions.abort(txn, now=now)
             raise
@@ -820,20 +926,214 @@ class InstantDB:
     # ------------------------------------------------------------------ maintenance
 
     def checkpoint(self, truncate_wal: bool = False) -> None:
-        """Flush every table and the WAL; optionally truncate the log prefix."""
+        """Flush every table and the WAL; optionally truncate the log prefix.
+
+        ``SCHED_CHECKPOINT`` chunk records snapshot the live due-queue
+        (registrations, queued steps, deferrals, event waiters), followed by
+        the CHECKPOINT marker carrying the heap page directory (table → page
+        ids) so a reopened database can find its flushed pages again.  The
+        marker comes last so a torn tail can never leave a marker without
+        its chunks; truncation keeps from the first chunk, and recovery
+        restores the snapshot then replays only the schedule records behind
+        the marker.
+        """
+        now = self.clock.now()
         for store in self.stores.values():
             store.flush()
-        record = self.wal.append(LogRecordType.CHECKPOINT, txn_id=0,
-                                 timestamp=self.clock.now())
+        # Snapshot chunks first (one record per chunk — large queues exceed
+        # the record codec's field cap), then the CHECKPOINT marker: in an
+        # append-only log a torn tail chops everything from the first torn
+        # record on, so a surviving marker *proves* its chunks survived too.
+        # Recovery treats the marker as the snapshot's commit record and
+        # falls back to the previous checkpoint when it is missing.
+        first_chunk_lsn = None
+        for chunk in self.scheduler.snapshot(now).chunked():
+            chunk_record = self.wal.append(
+                LogRecordType.SCHED_CHECKPOINT, txn_id=0,
+                after=encode_record(chunk.to_fields()),
+                timestamp=now,
+            )
+            if first_chunk_lsn is None:
+                first_chunk_lsn = chunk_record.lsn
+        record = self.wal.append(
+            LogRecordType.CHECKPOINT, txn_id=0,
+            after=encode_page_directory({
+                table: store.heap.page_ids()
+                for table, store in self.stores.items()
+            }),
+            timestamp=now,
+        )
         self.wal.flush()
         if truncate_wal:
-            self.wal.truncate_until(record.lsn - 1)
+            # Keep the snapshot chunks together with their marker.
+            keep_from = first_chunk_lsn if first_chunk_lsn is not None else record.lsn
+            self.wal.truncate_until(keep_from - 1)
         self.stats.checkpoints += 1
 
     def close(self) -> None:
+        """Clean shutdown: checkpoint (including the schedule snapshot),
+        flush the WAL and release the pager."""
         self.checkpoint()
         self.wal.close()
         self.pager.close()
+
+    # ------------------------------------------------------------------ recovery
+
+    def recover(self, drain: bool = True) -> EngineRecovery:
+        """Recover data *and* the degradation schedule from the WAL.
+
+        Call after reopening a database directory and re-registering its
+        domains, policies and tables (the catalog is code-defined, the data
+        and schedule are log-defined).  Four phases:
+
+        1. classic redo/undo over the table stores
+           (:class:`~repro.txn.recovery.RecoveryManager`);
+        2. schedule replay — the last ``SCHED_CHECKPOINT`` snapshot plus the
+           schedule records behind it rebuild the due-queue, resolving each
+           registration's policy from the catalog and dropping records whose
+           row no longer exists;
+        3. a simulated clock is fast-forwarded to the latest timestamp the
+           log proves had been reached (a wall clock moved on by itself);
+        4. with ``drain=True`` (default), every step that came due while the
+           process was down is applied immediately through the normal batched
+           pipeline — the paper's timeliness promise, restored across
+           restarts.
+        """
+        manager = RecoveryManager(self.wal, dict(self.stores))
+        report = manager.recover()
+        last_timestamp = 0.0
+        max_txn_id = 0
+        for record in self.wal:
+            last_timestamp = max(last_timestamp, record.timestamp)
+            max_txn_id = max(max_txn_id, record.txn_id)
+        # Never reuse a transaction id that appears in the recovered log: a
+        # fresh id counter colliding with an old loser would make that loser
+        # look committed to the next recovery pass.
+        self.transactions.resume_after(max_txn_id)
+        schedule = manager.replay_schedule(self.scheduler,
+                                           self._resolve_tuple_lcp,
+                                           recovery_report=report)
+        # Secondary indexes were populated by the re-run DDL against stores
+        # that were still empty; rebuild them from the recovered rows before
+        # anything (the catch-up drain included) queries or maintains them.
+        self._rebuild_indexes()
+        # The resolver caches per-record policies eagerly; keep only those
+        # that ended up registered (mirrors live completion bookkeeping).
+        for record_id in list(self._tuple_lcps):
+            if not self.scheduler.is_registered(record_id):
+                del self._tuple_lcps[record_id]
+        was_enabled = self.daemon.enabled
+        self.daemon.pause()
+        try:
+            if isinstance(self.clock, SimulatedClock) and \
+                    self.clock.now() < last_timestamp:
+                self.clock.advance_to(last_timestamp)
+        finally:
+            if was_enabled:
+                self.daemon.resume()
+        applied: List[DegradationStep] = []
+        if drain:
+            applied = self.daemon.catch_up(self.clock.now())
+        # Make recovery's own log writes durable (redo may allocate heap
+        # pages and append PAGE_ALLOC records; losing them to a crash before
+        # the next commit would orphan pages that still hold accurate rows).
+        self.wal.flush()
+        return EngineRecovery(
+            recovery=report,
+            schedule=schedule,
+            registrations=self.scheduler.registered_count(),
+            overdue_steps_applied=len(applied),
+            recovered_to=self.clock.now(),
+        )
+
+    def _rebuild_indexes(self) -> int:
+        """Repopulate every catalog index from its recovered store.
+
+        Each index structure is re-instantiated (in place on its
+        :class:`IndexInfo`, so cached plans keep working) and refilled with
+        one scan per table.  Returns the number of indexes rebuilt.
+        """
+        rebuilt = 0
+        for info in self.catalog.tables():
+            if not info.indexes:
+                continue
+            store = self.stores.get(info.name)
+            if store is None:
+                continue
+            for index_info in info.indexes.values():
+                index_info.index = ddl.build_index(
+                    ast.CreateIndex(name=index_info.name, table=info.name,
+                                    column=index_info.column,
+                                    method=index_info.method),
+                    info.schema, self.registry)
+                rebuilt += 1
+            for stored in store.scan():
+                self._index_insert(info, stored)
+        return rebuilt
+
+    def _resolve_tuple_lcp(self, record_id: Any,
+                           policy_names: Optional[Dict[str, str]] = None
+                           ) -> Optional[TupleLCP]:
+        """Schedule-replay resolver: record id -> live TupleLCP, or None.
+
+        ``None`` drops the registration: the row vanished (removed, deleted,
+        or its insert was undone as a loser) or its table/policy is no longer
+        part of the catalog.  ``policy_names`` (persisted at registration
+        time) takes precedence over selector-based resolution — the stored
+        selector value may have been degraded or updated since, which would
+        silently pick the wrong automaton for per-tuple overrides.
+        """
+        table, row_key = record_id
+        store = self.stores.get(table)
+        if store is None or not store.exists(row_key):
+            return None
+        try:
+            info = self.catalog.table(table)
+        except CatalogError:
+            return None
+        if info.policy is None or not info.policy.has_degradable_columns():
+            return None
+        tuple_lcp = self._tuple_lcp_from_names(info, policy_names)
+        if tuple_lcp is None:
+            selector_value = None
+            if info.policy.selector_column is not None:
+                selector_value = store.read(row_key).values.get(
+                    info.policy.selector_column)
+            tuple_lcp = info.policy.tuple_lcp(selector_value)
+        self._tuple_lcps[(table, row_key)] = tuple_lcp
+        return tuple_lcp
+
+    def _tuple_lcp_from_names(self, info,
+                              policy_names: Optional[Dict[str, str]]
+                              ) -> Optional[TupleLCP]:
+        """Rebuild a TupleLCP from persisted policy names, if they resolve.
+
+        Names are looked up in the registry first, then among the table's
+        per-tuple overrides (whose policies need not be registered).  Any
+        miss or attribute mismatch falls back to selector-based resolution.
+        """
+        if not policy_names:
+            return None
+        expected = {column.name for column in info.schema.degradable_columns()}
+        if set(policy_names) != expected:
+            return None
+        resolved: Dict[str, AttributeLCP] = {}
+        for attribute, name in policy_names.items():
+            try:
+                resolved[attribute] = self.registry.policy(name)
+                continue
+            except Exception:
+                pass
+            found = None
+            for override in info.policy.per_tuple_policies.values():
+                candidate = override.get(attribute)
+                if candidate is not None and candidate.name == name:
+                    found = candidate
+                    break
+            if found is None:
+                return None
+            resolved[attribute] = found
+        return TupleLCP(resolved)
 
     # ------------------------------------------------------------------ introspection
 
@@ -882,4 +1182,4 @@ class InstantDB:
         return "\n".join(lines)
 
 
-__all__ = ["InstantDB", "EngineStats"]
+__all__ = ["InstantDB", "EngineStats", "EngineRecovery"]

@@ -93,12 +93,24 @@ class BufferPool:
 
     # -- flushing ----------------------------------------------------------------
 
-    def flush_page(self, page_id: int) -> None:
-        """Write one page through to the pager if dirty."""
+    def flush_page(self, page_id: int, sync: bool = False) -> None:
+        """Write one page through to the pager if dirty.
+
+        With ``sync=True`` the pager is synced afterwards — the degradation
+        path uses this to make the overwritten page durable *before* the WAL
+        images are scrubbed (the irreversibility ordering); a write-through
+        alone only reaches the pager's buffers.
+        """
         if page_id in self._frames and self._dirty.get(page_id, False):
             self.pager.write_page(page_id, self._frames[page_id])
             self._dirty[page_id] = False
             self.stats.flushes += 1
+        if sync:
+            self.pager.sync()
+
+    def sync(self) -> None:
+        """Force previously flushed pages to stable storage (one fsync)."""
+        self.pager.sync()
 
     def flush_all(self) -> None:
         for page_id in list(self._frames):

@@ -103,7 +103,8 @@ class TableStore:
         self.buffer_pool = buffer_pool
         self.wal = wal
         self.keystore = keystore
-        self.heap = HeapFile(buffer_pool, name=schema.name)
+        self.heap = HeapFile(buffer_pool, name=schema.name,
+                             on_allocate=self._log_page_allocation)
         self.stats = TableStoreStats()
         self._degradable = [column.name for column in schema.degradable_columns()]
         self._locations: Dict[int, RecordId] = {}
@@ -162,6 +163,18 @@ class TableStore:
     @staticmethod
     def _is_sentinel(value: Any) -> bool:
         return value is SUPPRESSED or value is REMOVED or value is NULL or value is None
+
+    def _log_page_allocation(self, page_id: int) -> None:
+        """Make heap page ownership durable (see ``LogRecordType.PAGE_ALLOC``).
+
+        Degraded rows survive a crash only on their flushed pages — their
+        accurate WAL images are scrubbed by design — so the table must be able
+        to find its pages again after a reopen.  The record carries the page
+        id in the row-key field and no payload, which keeps it exempt from
+        scrubbing.
+        """
+        self.wal.append(LogRecordType.PAGE_ALLOC, 0, table=self.schema.name,
+                        row_key=page_id)
 
     # -- basic operations ----------------------------------------------------
 
@@ -281,7 +294,7 @@ class TableStore:
             timestamp=now,
         )
         # A degradation step is only irreversible once it reached stable storage.
-        self.buffer_pool.flush_page(self._locations[row_key].page_id)
+        self.buffer_pool.flush_page(self._locations[row_key].page_id, sync=True)
         if self.strategy == "rewrite":
             # The accurate value also survives in the row images logged by the
             # INSERT (and stable UPDATEs); physically scrub them now that the
@@ -378,9 +391,12 @@ class TableStore:
             if self.strategy == "rewrite":
                 scrub_rows.append(row_key)
         # Irreversibility ordering, as in degrade(): the degraded pages reach
-        # stable storage before the accurate log images are scrubbed.
+        # stable storage (one sync for the whole batch) before the accurate
+        # log images are scrubbed.
         for page_id in dirty_pages:
             self.buffer_pool.flush_page(page_id)
+        if dirty_pages:
+            self.buffer_pool.sync()
         if scrub_rows:
             self.wal.scrub_records(
                 [(self.schema.name, row_key) for row_key in scrub_rows], now=now)
@@ -404,7 +420,7 @@ class TableStore:
         )
         if scrub_log:
             self.wal.scrub_record(self.schema.name, row_key, now=now)
-        self.buffer_pool.flush_page(record_id.page_id)
+        self.buffer_pool.flush_page(record_id.page_id, sync=True)
         self.stats.removals += 1
 
     def remove_many(self, row_keys: List[int], now: float, txn_id: int = 0) -> int:
@@ -439,7 +455,29 @@ class TableStore:
                 [(self.schema.name, row_key) for row_key in removed], now=now)
         for page_id in dirty_pages:
             self.buffer_pool.flush_page(page_id)
+        if dirty_pages:
+            self.buffer_pool.sync()
         return len(removed)
+
+    def replay_remove(self, row_key: int, now: float,
+                      scrub_log: bool = False) -> None:
+        """Physically remove a row during recovery replay.
+
+        Unlike :meth:`remove` this appends no REMOVE record (the log record
+        being replayed already proves the removal) and defers page flushing
+        to recovery's final :meth:`flush` — a redo pass over a mass-removal
+        wave must not pay one fsync and one log append per row.
+        ``scrub_log=True`` still scrubs the row's log images (needed when
+        undoing a loser insert).
+        """
+        record_id = self._location(row_key)
+        self.heap.delete(record_id)
+        del self._locations[row_key]
+        if self.keystore is not None:
+            self.keystore.destroy_matching((self.schema.name, row_key))
+        if scrub_log:
+            self.wal.scrub_record(self.schema.name, row_key, now=now)
+        self.stats.removals += 1
 
     def delete(self, row_key: int, now: float, txn_id: int = 0) -> None:
         """Explicit user delete — same non-recoverability guarantees as removal."""
@@ -499,6 +537,18 @@ class TableStore:
             self._locations[row.row_key] = record_id
         self._next_row_key = max(self._next_row_key, row.row_key + 1)
         return row.row_key
+
+    def reserve_row_keys_after(self, row_key: int) -> None:
+        """Never hand out a key at or below ``row_key``.
+
+        Recovery calls this with the highest key the WAL mentions for this
+        table: :meth:`rebuild_locations` only sees *live* rows, so a key
+        freed by a removal would otherwise be reused by the next insert —
+        and the old incarnation's surviving REMOVE records would delete the
+        new row on a later recovery (the row-key analogue of
+        ``TransactionManager.resume_after``).
+        """
+        self._next_row_key = max(self._next_row_key, int(row_key) + 1)
 
     def rebuild_locations(self) -> None:
         """Rebuild the row-key → record-id map by scanning the heap (recovery)."""

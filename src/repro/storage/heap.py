@@ -9,7 +9,7 @@ callers (indexes, the degradation scheduler) can fix their references.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..core.errors import PageFullError, RecordNotFoundError, StorageError
 from .buffer import BufferPool
@@ -30,9 +30,13 @@ class RecordId:
 class HeapFile:
     """An unordered collection of records belonging to one table."""
 
-    def __init__(self, buffer_pool: BufferPool, name: str = "heap") -> None:
+    def __init__(self, buffer_pool: BufferPool, name: str = "heap",
+                 on_allocate: Optional[Callable[[int], None]] = None) -> None:
         self.buffer_pool = buffer_pool
         self.name = name
+        #: Called with the page id whenever the heap allocates a fresh page;
+        #: the table store uses this to log page ownership durably.
+        self.on_allocate = on_allocate
         self._page_ids: List[int] = []
         self._record_count = 0
 
@@ -54,6 +58,8 @@ class HeapFile:
                 return RecordId(page_id, slot)
         page_id = self.buffer_pool.new_page()
         self._page_ids.append(page_id)
+        if self.on_allocate is not None:
+            self.on_allocate(page_id)
         page = self.buffer_pool.get_page(page_id)
         slot = page.insert(payload)
         self.buffer_pool.mark_dirty(page_id)
@@ -111,6 +117,33 @@ class HeapFile:
             yield record_id
 
     # -- maintenance ------------------------------------------------------------------
+
+    def adopt_pages(self, page_ids: List[int]) -> int:
+        """Re-attach previously allocated pages after a reopen (recovery).
+
+        A fresh :class:`HeapFile` owns no pages; recovery feeds it the page
+        ids the WAL proves were allocated to this table (checkpoint directory
+        plus PAGE_ALLOC tail).  Ids unknown to the pager are skipped — their
+        allocation never became durable, so no data can live there.  The live
+        record count is rebuilt from the adopted pages.  Returns the number of
+        pages adopted.
+        """
+        known = set(self._page_ids)
+        adopted = 0
+        for page_id in page_ids:
+            if page_id in known:
+                continue
+            try:
+                page = self.buffer_pool.get_page(page_id)
+            except StorageError:
+                continue
+            self._page_ids.append(page_id)
+            known.add(page_id)
+            adopted += 1
+            # Count the adopted page's records in the same read that
+            # validated it; already-known pages are already counted.
+            self._record_count += len(page.live_slots())
+        return adopted
 
     def compact(self) -> None:
         """Compact every page (secure pages zero the reclaimed space)."""

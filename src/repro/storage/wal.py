@@ -15,6 +15,14 @@ This WAL therefore supports, besides the classic append/flush/replay protocol:
 * :meth:`WriteAheadLog.truncate_until` — drop the prefix made obsolete by a
   checkpoint.
 
+The log also persists the **degradation schedule** (the ``SCHED_*`` record
+types): registrations, applied steps, deferrals, event firings and — on clean
+shutdown — a full snapshot of the due-queue.  These records carry row keys,
+state indices and due times but never attribute values, so they survive
+scrubbing untouched; :class:`~repro.txn.recovery.RecoveryManager` replays them
+into a reconstructed :class:`~repro.core.scheduler.DegradationScheduler` (see
+``docs/durability.md``).
+
 The log is held in memory and optionally mirrored to a file so that crash
 recovery tests can reopen it.  The durability path is append-only: ``flush``
 writes only the records past ``flushed_lsn`` and fsyncs once, so a run of n
@@ -47,6 +55,40 @@ class LogRecordType(Enum):
     REMOVE = "REMOVE"          # final removal at end of life cycle
     CHECKPOINT = "CHECKPOINT"
     SCRUB = "SCRUB"            # audit trace of a log scrubbing action
+    # Degradation-schedule records: the durable image of the scheduler's
+    # due-queue.  They carry row keys, attribute names, state indices and due
+    # times — never attribute values — so they are exempt from scrubbing by
+    # construction (nothing in them can leak a degraded value).
+    SCHED_REGISTER = "SCHED_REGISTER"      # record entered the schedule
+    SCHED_STEP = "SCHED_STEP"              # step(s) applied (batch payload)
+    SCHED_DEFER = "SCHED_DEFER"            # step(s) re-queued after a conflict
+    SCHED_EVENT = "SCHED_EVENT"            # named event fired
+    SCHED_CHECKPOINT = "SCHED_CHECKPOINT"  # full queue snapshot (clean shutdown)
+    # DDL marker: the table was dropped.  Recovery skips records of tables
+    # that are absent from the reopened catalog *and* carry this marker;
+    # an absent table without one is still a hard configuration error.
+    TABLE_DROP = "TABLE_DROP"
+    # Heap page allocated to a table (``row_key`` holds the page id).  The
+    # row→page map is rebuilt by scanning the heap at recovery, but *which*
+    # pager pages belong to which table must itself be durable: degraded rows
+    # exist only on their flushed pages (their accurate log images are
+    # scrubbed), so losing page ownership would lose the rows.  CHECKPOINT
+    # records fold the full directory into their payload; PAGE_ALLOC covers
+    # the tail behind the last checkpoint.
+    PAGE_ALLOC = "PAGE_ALLOC"
+
+
+#: Record types whose payloads carry no attribute values and must survive
+#: scrubbing (the degradation schedule and storage-structure records).
+_SCRUB_EXEMPT = frozenset({
+    LogRecordType.SCHED_REGISTER,
+    LogRecordType.SCHED_STEP,
+    LogRecordType.SCHED_DEFER,
+    LogRecordType.SCHED_EVENT,
+    LogRecordType.SCHED_CHECKPOINT,
+    LogRecordType.TABLE_DROP,
+    LogRecordType.PAGE_ALLOC,
+})
 
 
 @dataclass(frozen=True)
@@ -111,6 +153,108 @@ class LogRecord:
             after=bytes(after) if after is not None else None,
             timestamp=float(values[8]),
         )
+
+
+# -- schedule record payloads -------------------------------------------------
+#
+# SCHED_STEP and SCHED_DEFER records cover a whole degradation batch with one
+# log record: their ``after`` payload is a flat encoded list with a leading
+# entry count.  The table name lives in the record header; row keys identify
+# the tuples within it.
+
+def encode_schedule_steps(entries: List[Tuple[int, str, int, float]]) -> bytes:
+    """Encode ``(row_key, attribute, to_state, due)`` step entries."""
+    flat: List[Any] = [len(entries)]
+    for row_key, attribute, to_state, due in entries:
+        flat.extend([int(row_key), attribute, int(to_state), float(due)])
+    return encode_record(flat)
+
+
+def decode_schedule_steps(payload: bytes) -> List[Tuple[int, str, int, float]]:
+    """Inverse of :func:`encode_schedule_steps`."""
+    flat = decode_record(payload)
+    count = int(flat[0])
+    if len(flat) != 1 + 4 * count:
+        raise WALError(f"malformed SCHED_STEP payload with {len(flat)} fields")
+    entries = []
+    for index in range(count):
+        offset = 1 + 4 * index
+        entries.append((int(flat[offset]), str(flat[offset + 1]),
+                        int(flat[offset + 2]), float(flat[offset + 3])))
+    return entries
+
+
+def encode_schedule_defers(entries: List[Tuple[int, str, int, float, float]]) -> bytes:
+    """Encode ``(row_key, attribute, from_state, due, until)`` defer entries."""
+    flat: List[Any] = [len(entries)]
+    for row_key, attribute, from_state, due, until in entries:
+        flat.extend([int(row_key), attribute, int(from_state),
+                     float(due), float(until)])
+    return encode_record(flat)
+
+
+def decode_schedule_defers(payload: bytes) -> List[Tuple[int, str, int, float, float]]:
+    """Inverse of :func:`encode_schedule_defers`."""
+    flat = decode_record(payload)
+    count = int(flat[0])
+    if len(flat) != 1 + 5 * count:
+        raise WALError(f"malformed SCHED_DEFER payload with {len(flat)} fields")
+    entries = []
+    for index in range(count):
+        offset = 1 + 5 * index
+        entries.append((int(flat[offset]), str(flat[offset + 1]),
+                        int(flat[offset + 2]), float(flat[offset + 3]),
+                        float(flat[offset + 4])))
+    return entries
+
+
+def encode_policy_names(policies: Dict[str, str]) -> bytes:
+    """Encode the attribute → policy-name map a SCHED_REGISTER record carries.
+
+    Policy *names* are not sensitive (unlike the selector value that picked
+    them, which must never enter the log): they let recovery re-resolve
+    per-tuple overrides even after the selector value degraded.
+    """
+    flat: List[Any] = [len(policies)]
+    for attribute in sorted(policies):
+        flat.extend([attribute, policies[attribute]])
+    return encode_record(flat)
+
+
+def decode_policy_names(payload: bytes) -> Dict[str, str]:
+    """Inverse of :func:`encode_policy_names`."""
+    flat = decode_record(payload)
+    count = int(flat[0])
+    if len(flat) != 1 + 2 * count:
+        raise WALError(f"malformed policy-name payload with {len(flat)} fields")
+    return {str(flat[1 + 2 * i]): str(flat[2 + 2 * i]) for i in range(count)}
+
+
+def encode_page_directory(directory: Dict[str, List[int]]) -> bytes:
+    """Encode the table → heap-page-ids directory (CHECKPOINT payload)."""
+    flat: List[Any] = [len(directory)]
+    for table in sorted(directory):
+        pages = directory[table]
+        flat.append(table)
+        flat.append(len(pages))
+        flat.extend(int(page_id) for page_id in pages)
+    return encode_record(flat)
+
+
+def decode_page_directory(payload: bytes) -> Dict[str, List[int]]:
+    """Inverse of :func:`encode_page_directory`."""
+    flat = decode_record(payload)
+    cursor = 0
+    count = int(flat[cursor]); cursor += 1
+    directory: Dict[str, List[int]] = {}
+    for _ in range(count):
+        table = str(flat[cursor]); cursor += 1
+        n_pages = int(flat[cursor]); cursor += 1
+        directory[table] = [int(p) for p in flat[cursor:cursor + n_pages]]
+        cursor += n_pages
+    if cursor != len(flat):
+        raise WALError("malformed page-directory payload")
+    return directory
 
 
 @dataclass
@@ -254,6 +398,11 @@ class WriteAheadLog:
         scrubbed = 0
         touched = set()
         for index, record in enumerate(self._records):
+            if record.record_type in _SCRUB_EXEMPT:
+                # Schedule/structure records never hold attribute values —
+                # their payloads (policy names, state indices, page ids) must
+                # survive scrubbing for recovery to work.
+                continue
             key = (record.table, record.row_key)
             if key not in targets:
                 continue
@@ -353,4 +502,8 @@ class WriteAheadLog:
             self.flush()
 
 
-__all__ = ["WriteAheadLog", "LogRecord", "LogRecordType", "WALStats"]
+__all__ = ["WriteAheadLog", "LogRecord", "LogRecordType", "WALStats",
+           "encode_schedule_steps", "decode_schedule_steps",
+           "encode_schedule_defers", "decode_schedule_defers",
+           "encode_policy_names", "decode_policy_names",
+           "encode_page_directory", "decode_page_directory"]

@@ -11,16 +11,34 @@ therefore implements a redo/undo pass with two degradation-specific rules:
 2. undo uses logical before-images only for stable-attribute updates; if a
    before-image was scrubbed (``None``) the undo is skipped — privacy wins over
    exact rollback, as argued in §III of the paper.
+
+Besides the data, recovery reconstructs the **degradation schedule**:
+:meth:`RecoveryManager.replay_schedule` restores the last ``SCHED_CHECKPOINT``
+snapshot (written on clean shutdown) and replays the schedule records behind
+it — committed registrations, applied steps, deferrals and event firings —
+into a :class:`~repro.core.scheduler.DegradationScheduler`, so steps that came
+due while the process was down are overdue (not lost) after a restart.  See
+``docs/durability.md`` for the full protocol.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..core.errors import RecoveryError
+from ..core.scheduler import DegradationScheduler, LCPResolver, SchedulerSnapshot
 from ..storage.degradable_store import TableStore
-from ..storage.wal import LogRecord, LogRecordType, WriteAheadLog
+from ..storage.serialization import decode_record
+from ..storage.wal import (
+    LogRecord,
+    LogRecordType,
+    WriteAheadLog,
+    decode_page_directory,
+    decode_policy_names,
+    decode_schedule_defers,
+    decode_schedule_steps,
+)
 
 
 @dataclass
@@ -38,12 +56,39 @@ class RecoveryReport:
     skipped_undos: int = 0
 
 
+@dataclass
+class ScheduleReplayReport:
+    """Summary of a degradation-schedule replay pass."""
+
+    #: LSN of the snapshot the replay started from (0 = no snapshot found,
+    #: full replay from the start of the log).
+    snapshot_lsn: int = 0
+    #: Registrations restored from the snapshot.
+    snapshot_restored: int = 0
+    #: Registrations replayed from SCHED_REGISTER records behind the snapshot.
+    registrations_replayed: int = 0
+    #: Registrations whose row or policy no longer resolves (dropped).
+    registrations_dropped: int = 0
+    steps_replayed: int = 0
+    events_replayed: int = 0
+    defers_replayed: int = 0
+
+
 class RecoveryManager:
     """Replays a WAL against a set of :class:`TableStore` objects."""
 
     def __init__(self, wal: WriteAheadLog, stores: Dict[str, TableStore]) -> None:
         self.wal = wal
         self.stores = stores
+        #: Per-table LSN of the last TABLE_DROP marker.  Records at or before
+        #: it belong to a dropped incarnation of the table and are skipped:
+        #: for a name absent from the catalog that avoids a spurious
+        #: unknown-table error; for a re-created name it stops old-epoch
+        #: removals from deleting the new table's rows (keys are reused).
+        self._drop_lsns: Dict[str, int] = {}
+        for record in wal:
+            if record.record_type is LogRecordType.TABLE_DROP:
+                self._drop_lsns[record.table] = record.lsn
 
     # -- analysis -------------------------------------------------------------
 
@@ -67,20 +112,91 @@ class RecoveryManager:
     def recover(self) -> RecoveryReport:
         """Rebuild row maps, redo winner work and degradation, undo losers."""
         report = self._analyse()
+        self._restore_page_directories()
         for store in self.stores.values():
             store.rebuild_locations()
         self._redo(report)
         self._undo(report)
+        self._reserve_row_keys()
         for store in self.stores.values():
             store.flush()
         return report
+
+    def _reserve_row_keys(self) -> None:
+        """Advance each store's key counter past every key the log mentions.
+
+        Rebuilding from live rows alone would re-issue keys freed by
+        removals; a reused key would collide with the old incarnation's
+        surviving REMOVE records on the next recovery and delete the new
+        row.  PAGE_ALLOC records are excluded (their row-key field holds a
+        page id), as are records of dropped epochs.
+        """
+        highest: Dict[str, int] = {}
+        for record in self.wal:
+            if not record.table or record.row_key < 0:
+                continue
+            if record.record_type in (LogRecordType.PAGE_ALLOC,
+                                      LogRecordType.TABLE_DROP):
+                continue
+            if self._old_epoch(record):
+                continue
+            highest[record.table] = max(highest.get(record.table, 0),
+                                        record.row_key)
+        for table, row_key in highest.items():
+            store = self.stores.get(table)
+            if store is not None:
+                store.reserve_row_keys_after(row_key)
+
+    def _restore_page_directories(self) -> None:
+        """Re-attach heap pages to their tables before scanning them.
+
+        Page ownership is durable as the last CHECKPOINT record's directory
+        payload plus the PAGE_ALLOC records behind it.  Freshly opened stores
+        own no pages, so without this step every row that exists only on a
+        flushed page (all degraded rows — their log images are scrubbed)
+        would be unreachable.
+        """
+        directory: Dict[str, List[int]] = {}
+        for record in self.wal:
+            if record.record_type is LogRecordType.CHECKPOINT:
+                if record.after is not None:
+                    # Directory entries of tables dropped after the
+                    # checkpoint describe the old incarnation; the
+                    # re-created table's pages arrive through its own
+                    # (newer-epoch) PAGE_ALLOC records below.
+                    directory = {
+                        table: pages
+                        for table, pages in
+                        decode_page_directory(record.after).items()
+                        if self._drop_lsns.get(table, 0) <= record.lsn
+                    }
+            elif record.record_type is LogRecordType.PAGE_ALLOC:
+                if not self._old_epoch(record):
+                    directory.setdefault(record.table, []).append(record.row_key)
+        for table, page_ids in directory.items():
+            store = self.stores.get(table)
+            if store is None:
+                # A dropped table's allocation records may outlive it in the
+                # log; its pages have no store to attach to — skip them (the
+                # schedule replay drops such tables' registrations the same
+                # way) rather than make every other table unrecoverable.
+                continue
+            store.heap.adopt_pages(page_ids)
+
+    def _old_epoch(self, record: LogRecord) -> bool:
+        """Whether ``record`` predates the last drop of its table."""
+        return record.lsn <= self._drop_lsns.get(record.table, 0)
 
     def _store_for(self, record: LogRecord) -> Optional[TableStore]:
         if not record.table:
             return None
         store = self.stores.get(record.table)
         if store is None:
+            if record.table in self._drop_lsns:
+                return None
             raise RecoveryError(f"log references unknown table {record.table!r}")
+        if self._old_epoch(record):
+            return None
         return store
 
     def _redo(self, report: RecoveryReport) -> None:
@@ -100,15 +216,125 @@ class RecoveryManager:
                     report.redone_updates += 1
             elif record.record_type is LogRecordType.DELETE:
                 if committed and store.exists(record.row_key):
-                    store.remove(record.row_key, now=record.timestamp, scrub_log=False)
+                    store.replay_remove(record.row_key, now=record.timestamp)
             elif record.record_type is LogRecordType.DEGRADE:
                 # Degradation is redone regardless of the surrounding user txn.
                 if store.exists(record.row_key):
                     report.redone_degrades += self._redo_degrade(store, record)
             elif record.record_type is LogRecordType.REMOVE:
                 if store.exists(record.row_key):
-                    store.remove(record.row_key, now=record.timestamp, scrub_log=False)
+                    store.replay_remove(record.row_key, now=record.timestamp)
                     report.redone_removes += 1
+
+    # -- schedule replay -------------------------------------------------------
+
+    def replay_schedule(self, scheduler: DegradationScheduler,
+                        resolve_lcp: LCPResolver,
+                        recovery_report: Optional[RecoveryReport] = None
+                        ) -> ScheduleReplayReport:
+        """Reconstruct the degradation schedule from the log's SCHED records.
+
+        Call after :meth:`recover` — the replay resolves registrations against
+        the recovered stores (losers undone, removals redone), so
+        ``resolve_lcp`` can simply drop ids whose row no longer exists.  The
+        replay starts from the last ``SCHED_CHECKPOINT`` snapshot if one
+        survives in the log (clean shutdowns write one, and checkpoint
+        truncation keeps it), then applies the schedule tail behind it in LSN
+        order.  Registrations and step applications belonging to uncommitted
+        transactions are ignored: an unapplied step stays pending at its
+        original due time and simply comes up overdue after the restart —
+        never lost, never applied twice.
+        """
+        report = ScheduleReplayReport()
+        # Reuse the caller's analysis pass when available (the engine just
+        # ran recover()); the log has not changed in between.
+        committed = (recovery_report or self._analyse()).committed_txns
+        # Checkpoints append their snapshot chunks *before* the CHECKPOINT
+        # marker: a torn tail chops the log from the first torn record on,
+        # so a surviving marker proves the complete chunk run before it
+        # survived as well.  The snapshot is therefore the contiguous run of
+        # SCHED_CHECKPOINT records (same timestamp) immediately preceding
+        # the *last* marker; chunks after it — a checkpoint whose marker was
+        # lost — are orphans and are ignored, falling back to this one.
+        records = self.wal.records()
+        marker_index = None
+        for index, record in enumerate(records):
+            if record.record_type is LogRecordType.CHECKPOINT:
+                marker_index = index
+        chunks: List[LogRecord] = []
+        if marker_index is not None:
+            marker = records[marker_index]
+            cursor = marker_index - 1
+            while cursor >= 0:
+                candidate = records[cursor]
+                if candidate.record_type is not LogRecordType.SCHED_CHECKPOINT:
+                    break
+                if candidate.timestamp != marker.timestamp:
+                    break
+                chunks.append(candidate)
+                cursor -= 1
+            if chunks:
+                report.snapshot_lsn = marker.lsn
+
+        def epoch_resolver(record_id, policy_names=None):
+            # Snapshot entries of a table dropped *after* the snapshot was
+            # taken describe the old incarnation — drop them even when a
+            # same-name table (with reused row keys) exists again.
+            if isinstance(record_id, tuple) and record_id and \
+                    self._drop_lsns.get(record_id[0], 0) > report.snapshot_lsn:
+                return None
+            return resolve_lcp(record_id, policy_names)
+
+        for record in chunks:
+            if record.after is None:
+                continue
+            snapshot = SchedulerSnapshot.from_fields(decode_record(record.after))
+            restored = scheduler.restore_from(snapshot, epoch_resolver)
+            report.snapshot_restored += restored
+            report.registrations_dropped += (
+                len(snapshot.registrations) - restored)
+        for record in self.wal:
+            if record.lsn <= report.snapshot_lsn:
+                continue
+            record_type = record.record_type
+            if record.table and self._old_epoch(record):
+                continue            # schedule records of a dropped incarnation
+            if record_type is LogRecordType.SCHED_REGISTER:
+                if record.txn_id != 0 and record.txn_id not in committed:
+                    continue
+                record_id = (record.table, record.row_key)
+                if scheduler.is_registered(record_id):
+                    continue
+                policy_names = (decode_policy_names(record.after)
+                                if record.after is not None else None)
+                tuple_lcp = resolve_lcp(record_id, policy_names)
+                if tuple_lcp is None:
+                    report.registrations_dropped += 1
+                    continue
+                scheduler.register(record_id, tuple_lcp, record.timestamp)
+                report.registrations_replayed += 1
+            elif record_type is LogRecordType.SCHED_STEP:
+                if record.txn_id != 0 and record.txn_id not in committed:
+                    continue
+                if record.after is None:
+                    continue
+                for row_key, attribute, to_state, due in \
+                        decode_schedule_steps(record.after):
+                    if scheduler.replay_applied((record.table, row_key),
+                                                attribute, to_state, due):
+                        report.steps_replayed += 1
+            elif record_type is LogRecordType.SCHED_EVENT:
+                scheduler.fire_event(record.attribute, record.timestamp)
+                report.events_replayed += 1
+            elif record_type is LogRecordType.SCHED_DEFER:
+                if record.after is None:
+                    continue
+                report.defers_replayed += scheduler.replay_defers([
+                    ((record.table, row_key), attribute, from_state, due, until)
+                    for row_key, attribute, from_state, due, until
+                    in decode_schedule_defers(record.after)
+                ])
+        return report
 
     @staticmethod
     def _redo_degrade(store: TableStore, record: LogRecord) -> int:
@@ -123,8 +349,6 @@ class RecoveryManager:
         accurate than logged? no: equal or already degraded) value on restart.
         """
         row = store.read(record.row_key)
-        from ..storage.serialization import decode_record
-
         target_level = int(decode_record(record.after)[0]) if record.after else None
         if target_level is None:
             return 0
@@ -145,7 +369,8 @@ class RecoveryManager:
                 continue
             if record.record_type is LogRecordType.INSERT:
                 if store.exists(record.row_key):
-                    store.remove(record.row_key, now=record.timestamp, scrub_log=True)
+                    store.replay_remove(record.row_key, now=record.timestamp,
+                                        scrub_log=True)
                     report.undone_inserts += 1
             elif record.record_type is LogRecordType.UPDATE:
                 if record.before is None:
@@ -159,4 +384,4 @@ class RecoveryManager:
                 report.skipped_undos += 1
 
 
-__all__ = ["RecoveryManager", "RecoveryReport"]
+__all__ = ["RecoveryManager", "RecoveryReport", "ScheduleReplayReport"]

@@ -113,6 +113,16 @@ class TransactionManager:
         self._active.pop(txn.txn_id, None)
         self.stats.aborted += 1
 
+    def resume_after(self, txn_id: int) -> None:
+        """Ensure future transaction ids are greater than ``txn_id``.
+
+        Called by recovery after reopening a WAL: a fresh manager restarts its
+        id counter at 1, and reusing an id that appears in the recovered log
+        would make an old loser transaction look committed to the *next*
+        recovery pass.
+        """
+        self._next_txn_id = max(self._next_txn_id, int(txn_id) + 1)
+
     # -- locking helpers --------------------------------------------------------
 
     def lock_shared(self, txn: Transaction, resource: Any) -> bool:

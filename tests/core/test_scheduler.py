@@ -47,9 +47,12 @@ class TestRegistration:
         with pytest.raises(DegradationError):
             scheduler.register("r1", tuple_lcp, inserted_at=1.0)
 
-    def test_unknown_record_state_raises(self):
-        with pytest.raises(DegradationError):
-            DegradationScheduler().current_state("ghost")
+    def test_unknown_record_state_is_empty(self):
+        # Unregistered (or completed/cancelled) ids report an empty state —
+        # "no pending degradation" — instead of raising.
+        scheduler = DegradationScheduler()
+        assert scheduler.current_state("ghost") == {}
+        assert not scheduler.is_registered("ghost")
 
     def test_cancel_removes_registration(self, tuple_lcp):
         scheduler = DegradationScheduler()
@@ -315,3 +318,118 @@ class TestEventSteps:
         scheduler.run_due(DAY + HOUR, collect_applier(applied))
         assert [(s.from_state, s.to_state) for s in applied] == [(0, 1), (1, 2)]
         assert scheduler.stats.records_completed == 1
+
+
+class TestSnapshotRestore:
+    """The durable due-queue: snapshot / restore_from / replay_* round trips."""
+
+    def test_snapshot_fields_round_trip(self, two_attr_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register(("person", 1), two_attr_lcp, inserted_at=10.0)
+        snapshot = scheduler.snapshot(now=20.0)
+        from repro.core.scheduler import SchedulerSnapshot
+        rebuilt = SchedulerSnapshot.from_fields(snapshot.to_fields())
+        assert rebuilt.taken_at == 20.0
+        assert len(rebuilt.registrations) == 1
+        snap = rebuilt.registrations[0]
+        assert snap.record_id == ("person", 1)
+        assert snap.inserted_at == 10.0
+        assert snap.current_states == {"location": 0, "salary": 0}
+        assert snap.pending["location"] == (10.0 + HOUR, 10.0 + HOUR)
+
+    def test_restore_preserves_queue_and_cadence(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        applied = []
+        scheduler.run_due(HOUR, collect_applier(applied))
+        restored = DegradationScheduler()
+        count = restored.restore_from(scheduler.snapshot(),
+                                      lambda record_id, policies=None: tuple_lcp)
+        assert count == 1
+        assert restored.current_state("r1") == {"location": 1}
+        assert restored.peek_next_due() == HOUR + DAY
+        # The restored queue drains exactly like the original would.
+        restored.run_due(HOUR + DAY, collect_applier(applied))
+        assert restored.current_state("r1") == {"location": 2}
+
+    def test_restore_resolver_none_drops_registration(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        scheduler.register("r2", tuple_lcp, inserted_at=0.0)
+        restored = DegradationScheduler()
+        count = restored.restore_from(
+            scheduler.snapshot(),
+            lambda record_id, policies=None: tuple_lcp if record_id == "r2" else None)
+        assert count == 1
+        assert not restored.is_registered("r1")
+        assert restored.is_registered("r2")
+
+    def test_restore_preserves_deferral(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        (step,) = scheduler.due_steps(HOUR)
+        scheduler.defer(step, until=2 * HOUR)       # e.g. a lock conflict
+        restored = DegradationScheduler()
+        restored.restore_from(scheduler.snapshot(), lambda record_id, policies=None: tuple_lcp)
+        # Not due before the retry time, due at it, with original lag basis.
+        assert restored.due_steps(2 * HOUR - 1) == []
+        (redone,) = restored.due_steps(2 * HOUR)
+        assert redone.due == HOUR
+
+    def test_restore_preserves_event_waiters(self, location_tree):
+        lcp = TupleLCP({"location": AttributeLCP(
+            location_tree, states=[0, 4], transitions=[{"event": "go"}])})
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", lcp, inserted_at=0.0)
+        restored = DegradationScheduler()
+        restored.restore_from(scheduler.snapshot(), lambda record_id, policies=None: lcp)
+        released = restored.fire_event("go", now=5.0)
+        assert [step.record_id for step in released] == ["r1"]
+
+    def test_replay_applied_matches_live_application(self, tuple_lcp):
+        live = DegradationScheduler()
+        live.register("r1", tuple_lcp, inserted_at=0.0)
+        applied = []
+        live.run_due(HOUR, collect_applier(applied))
+
+        replayed = DegradationScheduler()
+        replayed.register("r1", tuple_lcp, inserted_at=0.0)
+        assert replayed.replay_applied("r1", "location", to_state=1, due=HOUR)
+        assert replayed.current_state("r1") == live.current_state("r1")
+        assert replayed.peek_next_due() == live.peek_next_due()
+        # Replays are stats-neutral: no lag is recorded.
+        assert replayed.stats.steps_applied == 0
+
+    def test_replay_applied_rejects_stale_or_unknown(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        assert not scheduler.replay_applied("ghost", "location", 1, HOUR)
+        assert scheduler.replay_applied("r1", "location", 1, HOUR)
+        # Replaying the same step twice is a no-op (exactly-once).
+        assert not scheduler.replay_applied("r1", "location", 1, HOUR)
+
+    def test_replay_applied_drops_final_registrations(self, location_tree):
+        lcp = TupleLCP({"location": AttributeLCP(
+            location_tree, states=[0, 4], transitions=["1 hour"])})
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", lcp, inserted_at=0.0)
+        assert scheduler.replay_applied("r1", "location", 1, HOUR)
+        assert not scheduler.is_registered("r1")
+        assert scheduler.stats.records_completed == 0   # stats-neutral
+
+    def test_replay_defer_moves_queued_step(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        assert scheduler.replay_defer("r1", "location", from_state=0,
+                                      due=HOUR, until=3 * HOUR)
+        assert scheduler.due_steps(2 * HOUR) == []
+        (step,) = scheduler.due_steps(3 * HOUR)
+        assert step.due == HOUR
+
+    def test_restore_skips_already_registered_and_final(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        snapshot = scheduler.snapshot()
+        # Restoring over an existing registration leaves it alone.
+        assert scheduler.restore_from(snapshot, lambda record_id, policies=None: tuple_lcp) == 0
+        assert scheduler.pending_count() == 1
