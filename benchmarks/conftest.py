@@ -10,6 +10,8 @@ fall) is asserted so the harness fails loudly if the reproduction drifts.
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Dict, List, Sequence
 
 import pytest
@@ -21,6 +23,57 @@ from repro.workloads import LocationTraceGenerator, person_table_sql, standard_p
 #: The paper's Fig. 2 policy delays.
 LOCATION_TRANSITIONS = ["1 hour", "1 day", "1 month", "3 months"]
 SALARY_TRANSITIONS = ["2 hours", "2 days", "2 months", "6 months"]
+
+#: Machine-readable benchmark results live here, one ``BENCH_<tag>.json`` per
+#: experiment family (c3, c4, fig1, ...), scenario → metrics.  Files are
+#: merged on update so the perf trajectory accumulates across PRs; CI uploads
+#: the directory as an artifact.
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def record_bench(tag: str, scenario: str, **metrics) -> None:
+    """Merge one scenario's metrics into ``benchmarks/results/BENCH_<tag>.json``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{tag}.json")
+    data: Dict[str, Dict] = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    data[scenario] = metrics
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _bench_tag(fullname: str) -> str:
+    """``benchmarks/bench_c3_query_performance.py::test_x`` → ``c3``."""
+    module = os.path.basename(fullname.split("::", 1)[0])
+    stem = module[:-3] if module.endswith(".py") else module
+    parts = stem.split("_")
+    return parts[1] if len(parts) > 1 and parts[0] == "bench" else stem
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_sessionfinish(session, exitstatus):
+    """Persist every pytest-benchmark timing of this run as JSON results."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        mean = getattr(stats, "mean", None)
+        if not mean:
+            continue
+        scenario = bench.fullname.split("::", 1)[-1]
+        record_bench(
+            _bench_tag(bench.fullname), scenario,
+            ops_per_sec=round(1.0 / mean, 3),
+            mean_seconds=round(mean, 9),
+            rounds=getattr(stats, "rounds", None),
+        )
 
 
 def build_engine(strategy: str = "rewrite", with_indexes: bool = False,

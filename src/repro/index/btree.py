@@ -149,10 +149,40 @@ class BPlusTreeIndex(Index):
 
     def range_search(self, low: Any = None, high: Any = None,
                      include_low: bool = True, include_high: bool = True) -> List[int]:
+        result: Set[int] = set()
+        for _key, row_key in self.iter_range_entries(low, high,
+                                                     include_low, include_high):
+            result.add(row_key)
+        return sorted(result)
+
+    def entries(self, key: Any) -> List[Tuple[Any, int]]:
+        """``(stored key, row key)`` pairs of one key (index-only eq probes).
+
+        Unlike :meth:`search` this exposes the key *as stored* — an
+        index-only scan projects it without touching the heap.
+        """
+        self.stats.lookups += 1
+        skey = sort_key(key)
+        leaf = self._find_leaf(skey)
+        index = bisect.bisect_left(leaf.sort_keys, skey)
+        if index < len(leaf.keys) and leaf.sort_keys[index] == skey:
+            self.stats.entries_scanned += len(leaf.values[index])
+            stored = leaf.keys[index]
+            return [(stored, row_key) for row_key in sorted(leaf.values[index])]
+        return []
+
+    def iter_range_entries(self, low: Any = None, high: Any = None,
+                           include_low: bool = True,
+                           include_high: bool = True) -> Iterator[Tuple[Any, int]]:
+        """Stream ``(key, row key)`` pairs of a range in key order.
+
+        Lazy leaf walk: a consumer that stops after ``k`` rows (``LIMIT k``)
+        pays O(log n + k) index work instead of materializing the whole
+        range (``entries_scanned`` counts only what was actually pulled).
+        """
         self.stats.range_scans += 1
         low_skey = sort_key(low) if low is not None else None
         high_skey = sort_key(high) if high is not None else None
-        result: Set[int] = set()
         # Start at the leftmost relevant leaf.
         if low_skey is None:
             node = self._root
@@ -173,11 +203,20 @@ class BPlusTreeIndex(Index):
                         continue
                 if high_skey is not None:
                     if skey > high_skey or (skey == high_skey and not include_high):
-                        return sorted(result)
-                result.update(leaf.values[index])
+                        return
+                key = leaf.keys[index]
+                for row_key in sorted(leaf.values[index]):
+                    yield key, row_key
             leaf = leaf.next_leaf
             start = 0
-        return sorted(result)
+
+    def iter_range_keys(self, low: Any = None, high: Any = None,
+                        include_low: bool = True,
+                        include_high: bool = True) -> Iterator[int]:
+        """Row keys of a range, streamed in key order (scan access path)."""
+        for _key, row_key in self.iter_range_entries(low, high,
+                                                     include_low, include_high):
+            yield row_key
 
     # -- introspection -----------------------------------------------------------------
 

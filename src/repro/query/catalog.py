@@ -56,6 +56,13 @@ class Catalog:
         #: Bumped on every metadata change; cached query plans are only valid
         #: for the version they were built against.
         self.version = 0
+        #: Optional :class:`~repro.query.statistics.StatisticsRegistry` the
+        #: engine attaches so the planner can cost access paths; ``None``
+        #: keeps the stats-free heuristic planner.
+        self.statistics = None
+        #: Read-path optimizations toggle (column pruning, index-only scans);
+        #: the engine sets this False in baseline/benchmark-comparison mode.
+        self.read_optimized = True
 
     # -- tables ----------------------------------------------------------------
 

@@ -73,12 +73,15 @@ class ExecutorStats:
     rows_returned: int = 0
     index_lookups: int = 0
     seq_scans: int = 0
+    #: Covering queries answered from index entries alone (no heap fetch).
+    index_only_scans: int = 0
 
 
 class Executor:
     """Runs physical plans against the table stores."""
 
-    def __init__(self, catalog: Catalog, store_provider: StoreProvider) -> None:
+    def __init__(self, catalog: Catalog, store_provider: StoreProvider,
+                 compile_mode: str = "compiled") -> None:
         self.catalog = catalog
         self.stores = store_provider
         self.planner = Planner(catalog)
@@ -86,7 +89,8 @@ class Executor:
         #: Operator tree of the most recent execution (stats introspection).
         self.last_pipeline: Optional[Operator] = None
         self._runtime = PipelineRuntime(catalog=catalog, stores=store_provider,
-                                        stats=self.stats)
+                                        stats=self.stats,
+                                        compile_mode=compile_mode)
 
     # ------------------------------------------------------------------ SELECT
 

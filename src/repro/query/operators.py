@@ -12,23 +12,28 @@ conventional iterator engine:
 * :class:`SeqScan` / :class:`IndexScan` — produce the degraded *visible* rows
   of one table, either by heap scan or through the access path the planner
   chose (hash/B+-tree/bitmap equality, B+-tree range, GT-index level probe);
+  both decode only the columns the planner proved the query touches;
+* :class:`IndexOnlyScan` — answers a covering query from GT/B+-tree index
+  entries alone, never touching the heap;
 * :class:`Filter` — evaluates only the **residual** predicate, i.e. the
-  conjuncts the access path does not already guarantee;
-* :class:`HashJoin` — builds a hash table on the right input, streams the left;
+  conjuncts the access path does not already guarantee, through the plan's
+  compiled closure (one compile per plan, not one tree-walk per row);
+* :class:`HashJoin` — builds a hash table on the estimated-smaller input and
+  streams the other, with compiled key extractors;
 * :class:`Project` / :class:`Aggregate` — projection and grouped aggregation;
 * :class:`TopN` — ``ORDER BY ... LIMIT n`` with a bounded heap of ``n`` rows
   instead of a full sort;
 * :class:`Sort` / :class:`Limit` — full ordering and early-exit truncation.
 
 Every operator counts the rows it produced in :class:`OperatorStats`, which is
-what ``EXPLAIN ANALYZE`` renders and what tests/benchmarks use to prove that
-``LIMIT k`` pulls only O(k) rows past the scan.
+what ``EXPLAIN ANALYZE`` renders (alongside the planner's row estimates) and
+what tests/benchmarks use to prove that ``LIMIT k`` pulls only O(k) rows past
+the scan.
 """
 
 from __future__ import annotations
 
 import heapq
-import re
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -40,12 +45,22 @@ from typing import (
     Tuple,
 )
 
-from ..core.errors import BindingError, ExecutionError, ParameterError
-from ..core.values import NULL, SUPPRESSED, is_missing, sort_key
+from ..core.errors import BindingError, ExecutionError
+from ..core.values import NULL, is_missing, sort_key
 from ..index.gt_index import GTIndex
 from ..storage.degradable_store import StoredRow, TableStore
 from . import ast_nodes as ast
 from .catalog import Catalog
+from .compiler import (
+    RowFn,
+    _hashable,
+    _resolve_join_refs,
+    _truthy,
+    evaluate,
+    lookup,
+    output_items,
+    render_expression,
+)
 from .planner import AccessPath, PhysicalPlan, TableScanPlan
 
 #: Callable giving the pipeline access to a table's storage manager.
@@ -53,171 +68,6 @@ StoreProvider = Callable[[str], TableStore]
 
 #: Key under which the logical row key is exposed in visible rows.
 ROW_KEY_FIELD = "__row_key__"
-
-
-# -- expression evaluation ------------------------------------------------------
-
-
-def lookup(ref: ast.ColumnRef, row: Dict[str, Any]) -> Any:
-    if ref.table is not None:
-        qualified = f"{ref.table}.{ref.column}"
-        if qualified in row:
-            return row[qualified]
-    if ref.column in row:
-        return row[ref.column]
-    if ref.table is None:
-        # Try any qualified match (single unambiguous suffix).
-        matches = [key for key in row if key.endswith(f".{ref.column}")]
-        if len(matches) == 1:
-            return row[matches[0]]
-        if len(matches) > 1:
-            raise BindingError(f"ambiguous column reference {ref.column!r}")
-    raise BindingError(f"unknown column {ref.qualified!r}")
-
-
-def evaluate(expression: ast.Expression, row: Dict[str, Any]) -> Any:
-    if isinstance(expression, ast.Literal):
-        return expression.value
-    if isinstance(expression, ast.Placeholder):
-        raise ParameterError(
-            "statement has unbound '?' placeholders; pass params= "
-            "(or use a Cursor) to bind them"
-        )
-    if isinstance(expression, ast.ColumnRef):
-        return lookup(expression, row)
-    if isinstance(expression, ast.Comparison):
-        return _compare(expression, row)
-    if isinstance(expression, ast.InList):
-        value = evaluate(expression.operand, row)
-        if is_missing(value):
-            return False
-        result = any(_equal(value, candidate) for candidate in expression.values)
-        return not result if expression.negated else result
-    if isinstance(expression, ast.Between):
-        value = evaluate(expression.operand, row)
-        low = evaluate(expression.low, row)
-        high = evaluate(expression.high, row)
-        if is_missing(value) or is_missing(low) or is_missing(high):
-            return False
-        result = sort_key(low) <= sort_key(value) <= sort_key(high)
-        return not result if expression.negated else result
-    if isinstance(expression, ast.IsNull):
-        value = evaluate(expression.operand, row)
-        result = value is NULL or value is None or value is SUPPRESSED
-        return not result if expression.negated else result
-    if isinstance(expression, ast.BooleanOp):
-        if expression.operator == "AND":
-            return all(_truthy(evaluate(op, row)) for op in expression.operands)
-        return any(_truthy(evaluate(op, row)) for op in expression.operands)
-    if isinstance(expression, ast.Not):
-        return not _truthy(evaluate(expression.operand, row))
-    if isinstance(expression, ast.Aggregate):
-        raise BindingError(
-            f"aggregate {expression.display_name} used outside an aggregate query"
-        )
-    raise ExecutionError(f"cannot evaluate expression {expression!r}")
-
-
-def _compare(comparison: ast.Comparison, row: Dict[str, Any]) -> bool:
-    left = evaluate(comparison.left, row)
-    right = evaluate(comparison.right, row)
-    operator = comparison.operator
-    if operator == "LIKE":
-        if is_missing(left) or is_missing(right):
-            return False
-        return _like(str(left), str(right))
-    if is_missing(left) or is_missing(right):
-        return False
-    if operator == "=":
-        return _equal(left, right)
-    if operator == "!=":
-        return not _equal(left, right)
-    left_key, right_key = sort_key(left), sort_key(right)
-    if operator == "<":
-        return left_key < right_key
-    if operator == "<=":
-        return left_key <= right_key
-    if operator == ">":
-        return left_key > right_key
-    if operator == ">=":
-        return left_key >= right_key
-    raise ExecutionError(f"unsupported comparison operator {operator!r}")
-
-
-def _truthy(value: Any) -> bool:
-    return bool(value) and not is_missing(value)
-
-
-def _equal(left: Any, right: Any) -> bool:
-    if isinstance(left, (int, float)) and isinstance(right, (int, float)) \
-            and not isinstance(left, bool) and not isinstance(right, bool):
-        return float(left) == float(right)
-    if isinstance(left, str) and isinstance(right, str):
-        return left.lower() == right.lower()
-    return left == right
-
-
-def _hashable(value: Any) -> Any:
-    if isinstance(value, str):
-        return value.lower()
-    try:
-        hash(value)
-        return value
-    except TypeError:
-        return repr(value)
-
-
-_LIKE_CACHE: Dict[str, re.Pattern] = {}
-
-
-def _like(value: str, pattern: str) -> bool:
-    """SQL LIKE with ``%`` and ``_`` wildcards (case-insensitive)."""
-    compiled = _LIKE_CACHE.get(pattern)
-    if compiled is None:
-        parts = []
-        for char in pattern:
-            if char == "%":
-                parts.append(".*")
-            elif char == "_":
-                parts.append(".")
-            else:
-                parts.append(re.escape(char))
-        compiled = re.compile(f"^{''.join(parts)}$", re.IGNORECASE | re.DOTALL)
-        _LIKE_CACHE[pattern] = compiled
-    return compiled.match(value) is not None
-
-
-def render_expression(expression: ast.Expression) -> str:
-    """SQL-ish rendering of an expression for EXPLAIN output."""
-    if isinstance(expression, ast.Literal):
-        return repr(expression.value)
-    if isinstance(expression, ast.Placeholder):
-        return "?"
-    if isinstance(expression, ast.ColumnRef):
-        return expression.qualified
-    if isinstance(expression, ast.Comparison):
-        return (f"{render_expression(expression.left)} {expression.operator} "
-                f"{render_expression(expression.right)}")
-    if isinstance(expression, ast.InList):
-        values = ", ".join(repr(value) for value in expression.values)
-        keyword = "NOT IN" if expression.negated else "IN"
-        return f"{render_expression(expression.operand)} {keyword} ({values})"
-    if isinstance(expression, ast.Between):
-        keyword = "NOT BETWEEN" if expression.negated else "BETWEEN"
-        return (f"{render_expression(expression.operand)} {keyword} "
-                f"{render_expression(expression.low)} AND "
-                f"{render_expression(expression.high)}")
-    if isinstance(expression, ast.IsNull):
-        keyword = "IS NOT NULL" if expression.negated else "IS NULL"
-        return f"{render_expression(expression.operand)} {keyword}"
-    if isinstance(expression, ast.BooleanOp):
-        joiner = f" {expression.operator} "
-        return "(" + joiner.join(render_expression(op) for op in expression.operands) + ")"
-    if isinstance(expression, ast.Not):
-        return f"NOT {render_expression(expression.operand)}"
-    if isinstance(expression, ast.Aggregate):
-        return expression.display_name
-    return repr(expression)
 
 
 # -- operator infrastructure ----------------------------------------------------
@@ -236,12 +86,15 @@ class PipelineRuntime:
 
     ``stats`` is the executor's aggregate :class:`ExecutorStats`-shaped
     counter object; scans bump it so engine-level accounting keeps working
-    alongside the per-operator counts.
+    alongside the per-operator counts.  ``compile_mode`` selects compiled
+    closures (default) or the tree-walking interpreter (the measured
+    baseline).
     """
 
     catalog: Catalog
     stores: StoreProvider
     stats: Any
+    compile_mode: str = "compiled"
 
 
 class Operator:
@@ -252,6 +105,8 @@ class Operator:
     def __init__(self, children: Tuple["Operator", ...] = ()) -> None:
         self.children: List[Operator] = list(children)
         self.stats = OperatorStats()
+        #: Planner-estimated output rows (shown by EXPLAIN; None = unknown).
+        self.estimated_rows: Optional[float] = None
 
     def rows(self) -> Iterator[Any]:
         raise NotImplementedError
@@ -266,6 +121,8 @@ class Operator:
 
     def explain_lines(self, analyze: bool = False, indent: int = 0) -> List[str]:
         suffix = f" (rows={self.stats.rows_out})" if analyze else ""
+        if self.estimated_rows is not None:
+            suffix += f" (est~{self.estimated_rows:.0f})"
         lines = ["  " * indent + self.describe() + suffix]
         for child in self.children:
             lines.extend(child.explain_lines(analyze, indent + 1))
@@ -294,6 +151,10 @@ class _ScanBase(Operator):
     and table-qualified column names, with degradable values generalized to
     the accuracy level the purpose demands and rows excluded when a demanded
     level is not computable from the stored state.
+
+    All per-query decisions — which columns to materialize, their visible-row
+    key names, generalization schemes, demanded levels — are resolved once at
+    operator construction; the per-row loop only moves values.
     """
 
     def __init__(self, runtime: PipelineRuntime, scan: TableScanPlan) -> None:
@@ -301,6 +162,32 @@ class _ScanBase(Operator):
         self.runtime = runtime
         self.scan = scan
         self.rows_excluded_not_computable = 0
+        schema = runtime.catalog.table(scan.table).schema
+        needed = None if scan.needed_columns is None else set(scan.needed_columns)
+        #: Columns whose stored accuracy can exclude the row: (name, demanded).
+        self._exclusions: List[Tuple[str, int]] = []
+        for column in schema.degradable_columns():
+            demanded = scan.demanded_levels.get(column.name, 0)
+            if demanded is not None:
+                self._exclusions.append((column.name, demanded))
+        #: Per materialized column: (name, visible keys, demanded, scheme).
+        self._specs: List[Tuple[str, Tuple[str, ...], Optional[int], Any]] = []
+        qualified = scan.qualified_keys or scan.needed_columns is None
+        for column in schema.columns:
+            if needed is not None and column.name not in needed:
+                continue
+            keys = [column.name]
+            if qualified:
+                keys.append(f"{scan.alias}.{column.name}")
+                if scan.alias != scan.table:
+                    keys.append(f"{scan.table}.{column.name}")
+            demanded = scan.demanded_levels.get(column.name) if column.degradable \
+                else None
+            scheme = runtime.catalog.scheme_for(scan.table, column.name) \
+                if column.degradable else None
+            self._specs.append((column.name, tuple(keys), demanded, scheme))
+        self._columns: Optional[frozenset] = None if needed is None \
+            else frozenset(needed)
 
     def describe(self) -> str:
         return self.scan.describe()
@@ -309,39 +196,33 @@ class _ScanBase(Operator):
         raise NotImplementedError
 
     def rows(self) -> Iterator[Dict[str, Any]]:
-        scan = self.scan
-        info = self.runtime.catalog.table(scan.table)
         stats = self.runtime.stats
+        exclusions = self._exclusions
+        specs = self._specs
         for row in self._candidates():
             stats.rows_scanned += 1
-            visible = self._visible_row(info.schema, row)
-            if visible is None:
+            levels = row.levels
+            excluded = False
+            for name, demanded in exclusions:
+                if levels[name] > demanded:
+                    excluded = True
+                    break
+            if excluded:
                 self.rows_excluded_not_computable += 1
                 stats.rows_excluded_not_computable += 1
                 continue
-            yield visible
-
-    def _visible_row(self, schema, row: StoredRow) -> Optional[Dict[str, Any]]:
-        scan = self.scan
-        visible: Dict[str, Any] = {ROW_KEY_FIELD: row.row_key}
-        for column in schema.columns:
-            value = row.values[column.name]
-            if column.degradable:
-                demanded = scan.demanded_levels.get(column.name, 0)
-                stored_level = row.levels[column.name]
+            values = row.values
+            visible: Dict[str, Any] = {ROW_KEY_FIELD: row.row_key}
+            for name, keys, demanded, scheme in specs:
+                value = values[name]
                 if demanded is not None:
-                    if stored_level > demanded:
-                        return None
+                    stored_level = levels[name]
                     if stored_level < demanded and not is_missing(value):
-                        scheme = self.runtime.catalog.scheme_for(scan.table,
-                                                                 column.name)
                         value = scheme.generalize(value, demanded,
                                                   from_level=stored_level)
-            visible[column.name] = value
-            visible[f"{scan.alias}.{column.name}"] = value
-            if scan.alias != scan.table:
-                visible[f"{scan.table}.{column.name}"] = value
-        return visible
+                for key in keys:
+                    visible[key] = value
+            yield visible
 
 
 class SeqScan(_ScanBase):
@@ -349,7 +230,7 @@ class SeqScan(_ScanBase):
 
     def _candidates(self) -> Iterator[StoredRow]:
         self.runtime.stats.seq_scans += 1
-        return self.runtime.stores(self.scan.table).scan()
+        return self.runtime.stores(self.scan.table).scan(self._columns)
 
 
 class IndexScan(_ScanBase):
@@ -359,7 +240,7 @@ class IndexScan(_ScanBase):
         self.runtime.stats.index_lookups += 1
         access = self.scan.access
         store = self.runtime.stores(self.scan.table)
-        candidates = store.fetch(iter(self._candidate_keys(access)))
+        candidates = store.fetch(self._candidate_keys(access), self._columns)
         if access.kind == "index_range":
             # The B+-tree orders sentinels (NULL/SUPPRESSED) past every real
             # value, so an open upper bound would admit them; the residual
@@ -369,26 +250,99 @@ class IndexScan(_ScanBase):
                     if not is_missing(row.values[column]))
         return candidates
 
-    def _candidate_keys(self, access: AccessPath) -> List[int]:
+    def _candidate_keys(self, access: AccessPath) -> Iterator[int]:
+        """Stream candidate row keys from the index.
+
+        Range probes stay lazy end to end (``iter_range_keys`` walks the
+        B+-tree leaves on demand), so ``LIMIT k`` over an index range does
+        O(k) index work instead of materializing the full key list first.
+        """
         index = access.index.index
         if access.kind == "index_eq":
-            return index.search(access.key)
+            return iter(index.search(access.key))
         if access.kind == "index_range":
-            return index.range_search(access.low, access.high,
-                                      include_low=access.include_low,
-                                      include_high=access.include_high)
+            if hasattr(index, "iter_range_keys"):
+                return index.iter_range_keys(access.low, access.high,
+                                             include_low=access.include_low,
+                                             include_high=access.include_high)
+            return iter(index.range_search(access.low, access.high,
+                                           include_low=access.include_low,
+                                           include_high=access.include_high))
         if access.kind == "gt_level":
             if not isinstance(index, GTIndex):
                 raise ExecutionError(
                     f"access path gt_level requires a GT index, got {index.kind}"
                 )
-            return index.search_at(access.key, access.level)
+            return iter(index.search_at(access.key, access.level))
         raise ExecutionError(f"unknown access path kind {access.kind!r}")
 
 
-def make_scan(runtime: PipelineRuntime, scan: TableScanPlan) -> _ScanBase:
+class IndexOnlyScan(Operator):
+    """Covering scan: visible rows come from index entries, never the heap.
+
+    Eligible when the planner proved the chosen GT/B+-tree index covers every
+    column the query needs at its accuracy level
+    (:meth:`~repro.query.planner.Planner._index_only_eligible`).  Each index
+    entry carries the visible value — the stored key for B+-tree probes, the
+    demanded-level generalization for GT probes — so no heap page is read and
+    no record is decoded.
+    """
+
+    label = "IndexOnlyScan"
+
+    def __init__(self, runtime: PipelineRuntime, scan: TableScanPlan) -> None:
+        super().__init__()
+        self.runtime = runtime
+        self.scan = scan
+        keys = [scan.access.column]
+        if scan.qualified_keys or scan.needed_columns is None:
+            keys.append(f"{scan.alias}.{scan.access.column}")
+            if scan.alias != scan.table:
+                keys.append(f"{scan.table}.{scan.access.column}")
+        self._keys = tuple(keys)
+
+    def describe(self) -> str:
+        return self.scan.describe()
+
+    def _entries(self) -> Iterator[Tuple[Any, int]]:
+        access = self.scan.access
+        index = access.index.index
+        if access.kind == "gt_level":
+            return index.entries_at(access.key, access.level)
+        if access.kind == "index_eq":
+            return iter(index.entries(access.key))
+        if access.kind == "index_range":
+            entries = index.iter_range_entries(
+                access.low, access.high,
+                include_low=access.include_low,
+                include_high=access.include_high)
+            # Same sentinel guard as IndexScan: an open upper bound would
+            # admit NULL/SUPPRESSED keys, which the predicate excludes.
+            return ((key, row_key) for key, row_key in entries
+                    if not is_missing(key))
+        raise ExecutionError(
+            f"access path {access.kind!r} cannot run index-only")
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        stats = self.runtime.stats
+        stats.index_lookups += 1
+        stats.index_only_scans += 1
+        store = self.runtime.stores(self.scan.table)
+        keys = self._keys
+        for value, row_key in self._entries():
+            if not store.exists(row_key):
+                continue
+            visible: Dict[str, Any] = {ROW_KEY_FIELD: row_key}
+            for key in keys:
+                visible[key] = value
+            yield visible
+
+
+def make_scan(runtime: PipelineRuntime, scan: TableScanPlan) -> Operator:
     if scan.access.kind == "seq":
         return SeqScan(runtime, scan)
+    if scan.index_only:
+        return IndexOnlyScan(runtime, scan)
     return IndexScan(runtime, scan)
 
 
@@ -396,77 +350,100 @@ def make_scan(runtime: PipelineRuntime, scan: TableScanPlan) -> _ScanBase:
 
 
 class Filter(Operator):
-    """Evaluates the residual predicate (conjuncts the access path left over)."""
+    """Evaluates the residual predicate (conjuncts the access path left over).
+
+    ``predicate_fn`` is the plan's compiled closure; without one (operator
+    built outside a compiled plan) the tree-walking interpreter is used.
+    """
 
     label = "Filter"
 
-    def __init__(self, child: Operator, predicate: ast.Expression) -> None:
+    def __init__(self, child: Operator, predicate: ast.Expression,
+                 predicate_fn: Optional[RowFn] = None) -> None:
         super().__init__((child,))
         self.predicate = predicate
+        self.predicate_fn = predicate_fn
 
     def describe(self) -> str:
         return f"Filter ({render_expression(self.predicate)})"
 
     def rows(self) -> Iterator[Dict[str, Any]]:
-        predicate = self.predicate
+        predicate_fn = self.predicate_fn
+        if predicate_fn is None:
+            predicate = self.predicate
+            predicate_fn = lambda row: _truthy(evaluate(predicate, row))
         for row in self.children[0]:
-            if _truthy(evaluate(predicate, row)):
+            if predicate_fn(row):
                 yield row
 
 
 class HashJoin(Operator):
-    """Equi-join: build a hash table on the right input, stream the left."""
+    """Equi-join: build a hash table on one input, stream the other.
+
+    The build side defaults to the right (joined) input; the planner flips it
+    to the left when statistics say the left is smaller
+    (``scan.build_left``).  Key extraction runs through the plan's compiled
+    closures, which bake in the hash normalization (``_hashable``) — degraded
+    values of unhashable shapes (lists, dicts) are converted once per row, not
+    re-dispatched per probe.
+    """
 
     label = "HashJoin"
 
     def __init__(self, runtime: PipelineRuntime, left: Operator, right: Operator,
-                 clause: ast.JoinClause, right_scan: TableScanPlan) -> None:
+                 clause: ast.JoinClause, right_scan: TableScanPlan,
+                 key_fns: Optional[Tuple[RowFn, RowFn]] = None) -> None:
         super().__init__((left, right))
         self.runtime = runtime
         self.clause = clause
         self.right_scan = right_scan
+        self.key_fns = key_fns
 
     def describe(self) -> str:
         clause = self.clause
+        build = "build=left" if self.right_scan.build_left else "build=right"
         return (f"HashJoin ({clause.kind} {self.right_scan.table} on "
-                f"{clause.left.qualified} = {clause.right.qualified})")
+                f"{clause.left.qualified} = {clause.right.qualified}, {build})")
 
     def _pad_columns(self) -> List[str]:
         """Right-side column keys for LEFT JOIN NULL padding.
 
         Derived from the catalog schema, not from an arbitrary right row, so
-        an empty right table still pads every column it would have produced.
+        an empty right table still pads every column it would have produced
+        (restricted to the pruned column set when the planner computed one).
         """
         scan = self.right_scan
         schema = self.runtime.catalog.table(scan.table).schema
+        needed = None if scan.needed_columns is None else set(scan.needed_columns)
         keys: List[str] = []
         for column in schema.columns:
+            if needed is not None and column.name not in needed:
+                continue
             keys.append(column.name)
             keys.append(f"{scan.alias}.{column.name}")
             if scan.alias != scan.table:
                 keys.append(f"{scan.table}.{column.name}")
         return keys
 
+    def _resolve_key_fns(self) -> Tuple[RowFn, RowFn]:
+        if self.key_fns is not None:
+            return self.key_fns
+        left_key, right_key = _resolve_join_refs(self.clause, self.right_scan)
+        return (lambda row: _hashable(lookup(left_key, row)),
+                lambda row: _hashable(lookup(right_key, row)))
+
     def rows(self) -> Iterator[Dict[str, Any]]:
         clause = self.clause
-        scan = self.right_scan
-        left_key = clause.left
-        right_key = clause.right
-
-        # Decide which side of the ON clause belongs to the joined table.
-        def belongs_to_right(ref: ast.ColumnRef) -> bool:
-            return ref.table in (scan.alias, scan.table)
-
-        if belongs_to_right(left_key) and not belongs_to_right(right_key):
-            left_key, right_key = right_key, left_key
+        left_fn, right_fn = self._resolve_key_fns()
+        if self.right_scan.build_left and clause.kind == "inner":
+            yield from self._rows_build_left(left_fn, right_fn)
+            return
         build: Dict[Any, List[Dict[str, Any]]] = {}
         for right_row in self.children[1]:
-            key = lookup(right_key, right_row)
-            build.setdefault(_hashable(key), []).append(right_row)
+            build.setdefault(right_fn(right_row), []).append(right_row)
         pad_columns = self._pad_columns() if clause.kind == "left" else []
         for left_row in self.children[0]:
-            key = _hashable(lookup(left_key, left_row))
-            matches = build.get(key, [])
+            matches = build.get(left_fn(left_row), [])
             if matches:
                 for right_row in matches:
                     merged = dict(left_row)
@@ -478,28 +455,55 @@ class HashJoin(Operator):
                 merged.update({key: NULL for key in pad_columns})
                 yield merged
 
+    def _rows_build_left(self, left_fn: RowFn,
+                         right_fn: RowFn) -> Iterator[Dict[str, Any]]:
+        """Inner join with the hash table on the (smaller) left input."""
+        build: Dict[Any, List[Dict[str, Any]]] = {}
+        for left_row in self.children[0]:
+            build.setdefault(left_fn(left_row), []).append(left_row)
+        for right_row in self.children[1]:
+            matches = build.get(right_fn(right_row))
+            if not matches:
+                continue
+            right_items = {k: v for k, v in right_row.items()
+                           if k != ROW_KEY_FIELD}
+            for left_row in matches:
+                merged = dict(left_row)
+                merged.update(right_items)
+                yield merged
+
 
 # -- projection / aggregation ----------------------------------------------------
 
 
 class Project(Operator):
-    """Evaluates the output expressions, turning row dicts into value tuples."""
+    """Evaluates the output expressions, turning row dicts into value tuples.
+
+    ``project_fn`` is the plan's compiled whole-tuple builder; without one the
+    expressions are interpreted per row.
+    """
 
     label = "Project"
 
     def __init__(self, child: Operator,
-                 items: List[Tuple[str, ast.Expression]]) -> None:
+                 items: List[Tuple[str, ast.Expression]],
+                 project_fn: Optional[RowFn] = None) -> None:
         super().__init__((child,))
         self.items = items
         self.columns = [name for name, _expr in items]
+        self.project_fn = project_fn
 
     def describe(self) -> str:
         return f"Project ({', '.join(self.columns)})"
 
     def rows(self) -> Iterator[Tuple[Any, ...]]:
-        items = self.items
+        project_fn = self.project_fn
+        if project_fn is None:
+            items = self.items
+            project_fn = lambda row: tuple(evaluate(expr, row)
+                                           for _name, expr in items)
         for row in self.children[0]:
-            yield tuple(evaluate(expr, row) for _name, expr in items)
+            yield project_fn(row)
 
 
 class Aggregate(Operator):
@@ -721,27 +725,6 @@ class Limit(Operator):
 # -- pipeline assembly -----------------------------------------------------------
 
 
-def output_items(catalog: Catalog, statement: ast.Select,
-                 plan: PhysicalPlan) -> List[Tuple[str, ast.Expression]]:
-    """Resolve the SELECT list into (output name, expression) pairs."""
-    items: List[Tuple[str, ast.Expression]] = []
-    for item in statement.items:
-        if isinstance(item, ast.Star):
-            schema = catalog.table(plan.base.table).schema
-            for column in schema.columns:
-                items.append((column.name, ast.ColumnRef(column=column.name,
-                                                         table=plan.base.alias)))
-            for _clause, scan in plan.joins:
-                join_schema = catalog.table(scan.table).schema
-                for column in join_schema.columns:
-                    items.append((f"{scan.alias}.{column.name}",
-                                  ast.ColumnRef(column=column.name,
-                                                table=scan.alias)))
-        else:
-            items.append((item.output_name, item.expression))
-    return items
-
-
 def build_pipeline(runtime: PipelineRuntime,
                    plan: PhysicalPlan) -> Tuple[List[str], Operator]:
     """Instantiate the operator tree for one execution of ``plan``.
@@ -749,43 +732,81 @@ def build_pipeline(runtime: PipelineRuntime,
     Operators carry per-execution state (iterators, counters), so a cached
     :class:`~repro.query.planner.PhysicalPlan` is re-instantiated cheaply for
     every run while the planning work (accuracy binding, access-path choice,
-    residual split) is done once.
+    residual split, column pruning, expression compilation) is done once.
     """
+    compiled = plan.ensure_compiled(runtime.catalog, runtime.compile_mode)
     statement = plan.statement
+    stats_registry = getattr(runtime.catalog, "statistics", None)
     root: Operator = make_scan(runtime, plan.base)
-    for clause, scan in plan.joins:
+    root.estimated_rows = plan.base.estimated_rows
+    running = plan.base.estimated_rows
+    for (clause, scan), key_fns in zip(plan.joins, compiled.join_keys):
         right = make_scan(runtime, scan)
-        root = HashJoin(runtime, root, right, clause, scan)
+        right.estimated_rows = scan.estimated_rows
+        root = HashJoin(runtime, root, right, clause, scan, key_fns=key_fns)
+        running = scan.join_estimated_rows    # planner's running chain
+        root.estimated_rows = running
     if plan.residual is not None:
-        root = Filter(root, plan.residual)
+        root = Filter(root, plan.residual, predicate_fn=compiled.residual)
+        if running is not None:
+            running *= plan.residual_selectivity
+        root.estimated_rows = running
     if statement.is_aggregate:
-        items: List[Tuple[str, ast.Expression]] = []
-        for item in statement.items:
-            if isinstance(item, ast.Star):
-                raise BindingError("SELECT * cannot be combined with aggregation")
-            items.append((item.output_name, item.expression))
+        items = compiled.items
         root = Aggregate(root, statement, items)
-        columns = [name for name, _expr in items]
+        columns = compiled.columns
+        root.estimated_rows = _estimate_groups(statement, plan, stats_registry,
+                                               running)
+        running = root.estimated_rows
     else:
-        items = output_items(runtime.catalog, statement, plan)
-        columns = [name for name, _expr in items]
-        root = Project(root, items)
+        items = compiled.items
+        columns = compiled.columns
+        root = Project(root, items, project_fn=compiled.project)
+        root.estimated_rows = running
     if statement.order_by:
         if statement.limit is not None:
             root = TopN(root, statement.order_by, columns, statement.limit)
+            root.estimated_rows = _cap_estimate(running, statement.limit)
         else:
             root = Sort(root, statement.order_by, columns)
+            root.estimated_rows = running
     elif statement.limit is not None:
         root = Limit(root, statement.limit)
+        root.estimated_rows = _cap_estimate(running, statement.limit)
     return columns, root
+
+
+def _cap_estimate(running: Optional[float], n: int) -> Optional[float]:
+    if running is None:
+        return float(n)
+    return min(running, float(n))
+
+
+def _estimate_groups(statement: ast.Select, plan: PhysicalPlan,
+                     stats_registry, running: Optional[float]) -> Optional[float]:
+    if not statement.group_by:
+        return 1.0
+    if stats_registry is None:
+        return running
+    stats = stats_registry.table(plan.base.table)
+    if stats is None:
+        return running
+    groups = 1.0
+    for ref in statement.group_by:
+        ndv = stats.ndv(ref.column)
+        groups *= max(1, ndv)
+    if running is not None:
+        groups = min(groups, running)
+    return groups
 
 
 def build_match_pipeline(runtime: PipelineRuntime,
                          plan: PhysicalPlan) -> Operator:
     """Scan + residual filter only: the row-matching pipeline DML uses."""
+    compiled = plan.ensure_compiled(runtime.catalog, runtime.compile_mode)
     root: Operator = make_scan(runtime, plan.base)
     if plan.residual is not None:
-        root = Filter(root, plan.residual)
+        root = Filter(root, plan.residual, predicate_fn=compiled.residual)
     return root
 
 
@@ -815,8 +836,8 @@ class StreamingResult:
 
 __all__ = [
     "Operator", "OperatorStats", "PipelineRuntime", "SeqScan", "IndexScan",
-    "Filter", "HashJoin", "Project", "Aggregate", "Sort", "TopN", "Limit",
-    "StreamingResult", "build_pipeline", "build_match_pipeline", "make_scan",
-    "output_items", "evaluate", "lookup", "render_expression",
-    "ROW_KEY_FIELD", "StoreProvider",
+    "IndexOnlyScan", "Filter", "HashJoin", "Project", "Aggregate", "Sort",
+    "TopN", "Limit", "StreamingResult", "build_pipeline",
+    "build_match_pipeline", "make_scan", "output_items", "evaluate", "lookup",
+    "render_expression", "ROW_KEY_FIELD", "StoreProvider",
 ]

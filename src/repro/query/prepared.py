@@ -78,6 +78,12 @@ class StatementCacheStats:
     evictions: int = 0
     plan_hits: int = 0
     plan_misses: int = 0
+    #: Plans whose predicate/projection closures were compiled for this
+    #: execution vs. served already-compiled from the plan cache — the proof
+    #: that prepared-statement re-execution does zero compilation (same
+    #: pattern as ``WALStats.payload_encodes`` / ``payload_cache_hits``).
+    predicate_compiles: int = 0
+    predicate_compile_hits: int = 0
 
 
 class StatementCache:

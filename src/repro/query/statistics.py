@@ -1,0 +1,293 @@
+"""Table statistics for cost-based planning.
+
+The planner's access-path choice was a fixed preference order (equality index
+beats range index beats sequential scan) with zero knowledge of the data.
+This module gives it numbers: per table a live row count, per column the
+number of distinct values (NDV), min/max, missing count and an exact
+value-frequency map — all maintained *incrementally* by the engine at the
+same sites that maintain secondary indexes (insert, degradation step, stable
+update, removal), so estimates never require a table scan.
+
+Degradation makes these statistics unusual: a degradation wave is a burst of
+value transitions (``on_degrade``) that collapses fine-grained values into
+coarse ones, so NDV shrinks and frequencies concentrate as a table ages.  The
+planner sees that immediately — a predicate that was selective at collection
+accuracy may flip to a sequential scan after the wave made it match half the
+table.
+
+Estimates are intentionally exact where exactness is cheap: equality
+selectivity reads the frequency map, range selectivity sums it while the NDV
+is small (falling back to min/max interpolation above
+``EXACT_RANGE_NDV_LIMIT``).  Recovery rebuilds statistics from the recovered
+heap during the index-rebuild scan — the WAL cannot replay them, because the
+accurate value images degradation scrubbed are gone by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.schema import TableSchema
+from ..core.values import is_missing, sort_key
+
+#: Above this NDV, range selectivity interpolates min/max instead of summing
+#: the frequency map.
+EXACT_RANGE_NDV_LIMIT = 4096
+
+#: Selectivity assumed for a conjunct the statistics cannot estimate.
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+
+def _stat_key(value: Any) -> Any:
+    """Equality-stable surrogate matching the executor's ``=`` semantics
+    (case-insensitive strings, numeric cross-type equality)."""
+    if isinstance(value, str):
+        return value.lower()
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+class ColumnStatistics:
+    """Frequency map, NDV, min/max and missing count of one column."""
+
+    __slots__ = ("counts", "non_missing", "missing", "_min", "_max", "_dirty")
+
+    def __init__(self) -> None:
+        self.counts: Dict[Any, int] = {}
+        self.non_missing = 0
+        self.missing = 0
+        #: Cached (sort_key, surrogate) extremes; ``_dirty`` forces a rescan.
+        self._min: Optional[Tuple[tuple, Any]] = None
+        self._max: Optional[Tuple[tuple, Any]] = None
+        self._dirty = False
+
+    # -- maintenance ----------------------------------------------------------
+
+    def add(self, value: Any) -> None:
+        if is_missing(value):
+            self.missing += 1
+            return
+        surrogate = _stat_key(value)
+        self.counts[surrogate] = self.counts.get(surrogate, 0) + 1
+        self.non_missing += 1
+        skey = sort_key(surrogate)
+        if self._min is None or skey < self._min[0]:
+            self._min = (skey, surrogate)
+        if self._max is None or skey > self._max[0]:
+            self._max = (skey, surrogate)
+
+    def remove(self, value: Any) -> None:
+        if is_missing(value):
+            self.missing = max(0, self.missing - 1)
+            return
+        surrogate = _stat_key(value)
+        count = self.counts.get(surrogate)
+        if count is None:
+            return
+        self.non_missing = max(0, self.non_missing - 1)
+        if count <= 1:
+            del self.counts[surrogate]
+            # The removed value may have been an extreme; rescan lazily.
+            if (self._min is not None and surrogate == self._min[1]) or \
+                    (self._max is not None and surrogate == self._max[1]):
+                self._dirty = True
+        else:
+            self.counts[surrogate] = count - 1
+
+    def replace(self, old: Any, new: Any) -> None:
+        self.remove(old)
+        self.add(new)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def ndv(self) -> int:
+        return len(self.counts)
+
+    def _rescan_extremes(self) -> None:
+        self._dirty = False
+        self._min = self._max = None
+        for surrogate in self.counts:
+            skey = sort_key(surrogate)
+            if self._min is None or skey < self._min[0]:
+                self._min = (skey, surrogate)
+            if self._max is None or skey > self._max[0]:
+                self._max = (skey, surrogate)
+
+    @property
+    def min_value(self) -> Any:
+        if self._dirty:
+            self._rescan_extremes()
+        return self._min[1] if self._min is not None else None
+
+    @property
+    def max_value(self) -> Any:
+        if self._dirty:
+            self._rescan_extremes()
+        return self._max[1] if self._max is not None else None
+
+    # -- estimates ------------------------------------------------------------
+
+    def eq_rows(self, value: Any) -> float:
+        """Estimated rows matching ``column = value`` (exact frequency)."""
+        if is_missing(value):
+            return 0.0
+        count = self.counts.get(_stat_key(value))
+        if count is not None:
+            return float(count)
+        # Unseen value: almost certainly no rows, but never estimate zero —
+        # a zero estimate would make every plan look free.
+        return 0.5
+
+    def range_fraction(self, low: Any = None, high: Any = None,
+                       include_low: bool = True,
+                       include_high: bool = True) -> float:
+        """Estimated fraction of non-missing rows inside the range."""
+        if not self.non_missing:
+            return 0.0
+        low_key = sort_key(_stat_key(low)) if low is not None else None
+        high_key = sort_key(_stat_key(high)) if high is not None else None
+        if self.ndv <= EXACT_RANGE_NDV_LIMIT:
+            matched = 0
+            for surrogate, count in self.counts.items():
+                skey = sort_key(surrogate)
+                if low_key is not None:
+                    if skey < low_key or (skey == low_key and not include_low):
+                        continue
+                if high_key is not None:
+                    if skey > high_key or (skey == high_key and not include_high):
+                        continue
+                matched += count
+            return matched / self.non_missing
+        minimum, maximum = self.min_value, self.max_value
+        if isinstance(minimum, float) and isinstance(maximum, float) \
+                and maximum > minimum:
+            lo = float(low) if isinstance(low, (int, float)) else minimum
+            hi = float(high) if isinstance(high, (int, float)) else maximum
+            fraction = (min(hi, maximum) - max(lo, minimum)) / (maximum - minimum)
+            return min(1.0, max(0.0, fraction))
+        return DEFAULT_SELECTIVITY
+
+
+class TableStatistics:
+    """Row count plus per-column statistics of one table."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.table = schema.name
+        self.row_count = 0
+        self.columns: Dict[str, ColumnStatistics] = {
+            column.name: ColumnStatistics() for column in schema.columns
+        }
+
+    # -- incremental maintenance ----------------------------------------------
+
+    def on_insert(self, values: Dict[str, Any]) -> None:
+        self.row_count += 1
+        for name, stats in self.columns.items():
+            stats.add(values.get(name))
+
+    def on_remove(self, values: Dict[str, Any]) -> None:
+        self.row_count = max(0, self.row_count - 1)
+        for name, stats in self.columns.items():
+            stats.remove(values.get(name))
+
+    def on_value_change(self, column: str, old: Any, new: Any) -> None:
+        """One value transition: a degradation step or a stable update."""
+        stats = self.columns.get(column)
+        if stats is not None:
+            stats.replace(old, new)
+
+    def reset(self) -> None:
+        self.row_count = 0
+        for name in self.columns:
+            self.columns[name] = ColumnStatistics()
+
+    def rebuild(self, rows: Iterable[Dict[str, Any]]) -> None:
+        """Exact rebuild from materialized row values (recovery)."""
+        self.reset()
+        for values in rows:
+            self.on_insert(values)
+
+    # -- estimates ------------------------------------------------------------
+
+    def column(self, name: str) -> Optional[ColumnStatistics]:
+        return self.columns.get(name.lower())
+
+    def ndv(self, column: str) -> int:
+        stats = self.column(column)
+        return stats.ndv if stats is not None else 0
+
+    def estimated_eq_rows(self, column: str, value: Any) -> float:
+        stats = self.column(column)
+        if stats is None:
+            return max(1.0, self.row_count * DEFAULT_SELECTIVITY)
+        return min(float(self.row_count), stats.eq_rows(value))
+
+    def estimated_range_rows(self, column: str, low: Any = None,
+                             high: Any = None, include_low: bool = True,
+                             include_high: bool = True) -> float:
+        stats = self.column(column)
+        if stats is None:
+            return max(1.0, self.row_count * DEFAULT_SELECTIVITY)
+        fraction = stats.range_fraction(low, high, include_low, include_high)
+        return fraction * stats.non_missing
+
+    def describe(self) -> str:
+        lines = [f"statistics for {self.table}: {self.row_count} rows"]
+        for name, stats in self.columns.items():
+            lines.append(
+                f"  {name}: ndv={stats.ndv} missing={stats.missing} "
+                f"min={stats.min_value!r} max={stats.max_value!r}"
+            )
+        return "\n".join(lines)
+
+
+class StatisticsRegistry:
+    """Name → :class:`TableStatistics`; the engine owns one instance and
+    attaches it to the catalog so the planner can cost access paths."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, TableStatistics] = {}
+
+    def register(self, schema: TableSchema) -> TableStatistics:
+        stats = TableStatistics(schema)
+        self._tables[schema.name] = stats
+        return stats
+
+    def drop(self, table: str) -> None:
+        self._tables.pop(table.lower(), None)
+
+    def table(self, name: str) -> Optional[TableStatistics]:
+        return self._tables.get(name.lower())
+
+    def tables(self) -> List[TableStatistics]:
+        return list(self._tables.values())
+
+    # -- engine-side maintenance hooks (no-ops for unregistered tables) --------
+
+    def on_insert(self, table: str, values: Dict[str, Any]) -> None:
+        stats = self._tables.get(table)
+        if stats is not None:
+            stats.on_insert(values)
+
+    def on_remove(self, table: str, values: Dict[str, Any]) -> None:
+        stats = self._tables.get(table)
+        if stats is not None:
+            stats.on_remove(values)
+
+    def on_value_change(self, table: str, column: str, old: Any, new: Any) -> None:
+        stats = self._tables.get(table)
+        if stats is not None:
+            stats.on_value_change(column, old, new)
+
+
+__all__ = ["ColumnStatistics", "TableStatistics", "StatisticsRegistry",
+           "DEFAULT_SELECTIVITY", "EXACT_RANGE_NDV_LIMIT"]

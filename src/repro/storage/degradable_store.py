@@ -40,7 +40,13 @@ from ..core.values import NULL, REMOVED, SUPPRESSED
 from .buffer import BufferPool
 from .crypto import KeyStore
 from .heap import HeapFile, RecordId
-from .serialization import decode_record, decode_value, encode_record, encode_value
+from .serialization import (
+    decode_value,
+    encode_record,
+    encode_value,
+    record_field_count,
+    skip_values,
+)
 from .wal import LogRecordType, WriteAheadLog
 
 #: Strategies for making degradation non-recoverable.
@@ -109,6 +115,8 @@ class TableStore:
         self._degradable = [column.name for column in schema.degradable_columns()]
         self._locations: Dict[int, RecordId] = {}
         self._next_row_key = 1
+        #: Memoized per column-subset: which fields to decode vs. byte-skip.
+        self._decode_plans: Dict[Optional[frozenset], Tuple] = {}
 
     # -- encoding helpers -----------------------------------------------------
 
@@ -126,39 +134,90 @@ class TableStore:
             flat.append(value)
         return encode_record(flat)
 
-    def _decode_row(self, payload: bytes) -> StoredRow:
-        flat = decode_record(payload)
+    def _decode_row(self, payload: bytes,
+                    columns: Optional[frozenset] = None) -> StoredRow:
+        """Decode a record, optionally materializing only ``columns``.
+
+        The header (row key, timestamp, accuracy levels) is always decoded —
+        levels drive the visibility exclusion check regardless of which
+        values a query projects.  With a column subset, unreferenced value
+        fields are *skipped* byte-wise (no object construction, no UTF-8
+        decode, no decryption), so a 2-column query over a 20-column table
+        pays for 2 values; the returned :class:`StoredRow` then carries only
+        the requested columns in ``values``.
+        """
+        count, offset = record_field_count(payload)
         expected = 2 + len(self._degradable) + len(self.schema.columns)
-        if len(flat) != expected:
+        if count != expected:
             raise StorageError(
-                f"table {self.schema.name!r}: malformed record with {len(flat)} fields "
+                f"table {self.schema.name!r}: malformed record with {count} fields "
                 f"(expected {expected})"
             )
-        row_key = int(flat[0])
-        inserted_at = float(flat[1])
-        levels = {
-            column: int(flat[2 + index]) for index, column in enumerate(self._degradable)
-        }
+        raw_key, offset = decode_value(payload, offset)
+        row_key = int(raw_key)
+        raw_inserted, offset = decode_value(payload, offset)
+        inserted_at = float(raw_inserted)
+        levels: Dict[str, int] = {}
+        for column in self._degradable:
+            level, offset = decode_value(payload, offset)
+            levels[column] = int(level)
         values: Dict[str, Any] = {}
-        offset = 2 + len(self._degradable)
-        for index, column in enumerate(self.schema.columns):
-            value = flat[offset + index]
-            if (column.degradable and self.strategy == "crypto"
-                    and isinstance(value, (bytes, bytearray))):
-                key_id = (self.schema.name, row_key, column.name, levels[column.name])
+        entries, verify_tail = self._decode_plan(columns)
+        for name, crypto in entries:
+            if name is None:
+                # A run of skipped fields: hop over the payload bytes in one
+                # call without building values (crypto is the run length).
+                offset = skip_values(payload, offset, crypto)
+                continue
+            value, offset = decode_value(payload, offset)
+            if crypto and isinstance(value, (bytes, bytearray)):
+                key_id = (self.schema.name, row_key, name, levels[name])
                 try:
                     plain = self.keystore.decrypt(key_id, bytes(value))
                 except KeyDestroyedError:
                     # Fail safe: a destroyed key means the value is, by design,
                     # unrecoverable — readers see it as suppressed.
-                    values[column.name] = SUPPRESSED
+                    values[name] = SUPPRESSED
                     continue
                 decoded, _ = decode_value(plain, 0)
-                values[column.name] = decoded
+                values[name] = decoded
             else:
-                values[column.name] = value
+                values[name] = value
+        if verify_tail and offset != len(payload):
+            raise StorageError("trailing bytes after record payload")
         return StoredRow(row_key=row_key, values=values, levels=levels,
                          inserted_at=inserted_at)
+
+    def _decode_plan(self, columns: Optional[frozenset]) -> Tuple[Tuple, bool]:
+        """Per column-subset decode/skip schedule: ``(entries, verify_tail)``.
+
+        Entries are ``(column name, crypto?)`` for fields to decode, and
+        ``(None, run length)`` for a run of consecutive skipped fields —
+        runs are collapsed so a 2-of-20 projection pays one
+        :func:`~repro.storage.serialization.skip_values` call per gap, not
+        one per column, and the run *after the last decoded column* is
+        dropped entirely (nothing downstream needs the offset).  Full
+        decodes keep the trailing-bytes integrity check; pruned decodes
+        stop early, so ``verify_tail`` is False for them.
+        """
+        plan = self._decode_plans.get(columns)
+        if plan is None:
+            crypto = self.strategy == "crypto"
+            entries: List[Tuple[Optional[str], Any]] = []
+            for column in self.schema.columns:
+                if columns is None or column.name in columns:
+                    entries.append((column.name, crypto and column.degradable))
+                elif entries and entries[-1][0] is None:
+                    entries[-1] = (None, entries[-1][1] + 1)
+                else:
+                    entries.append((None, 1))
+            verify_tail = columns is None
+            if not verify_tail:
+                while entries and entries[-1][0] is None:
+                    entries.pop()
+            plan = (tuple(entries), verify_tail)
+            self._decode_plans[columns] = plan
+        return plan
 
     @staticmethod
     def _is_sentinel(value: Any) -> bool:
@@ -198,24 +257,61 @@ class TableStore:
     def exists(self, row_key: int) -> bool:
         return row_key in self._locations
 
-    def read(self, row_key: int) -> StoredRow:
+    def read(self, row_key: int,
+             columns: Optional[frozenset] = None) -> StoredRow:
         record_id = self._location(row_key)
         payload = self.heap.read(record_id)
         self.stats.reads += 1
-        return self._decode_row(payload)
+        return self._decode_row(payload, columns)
 
-    def scan(self) -> Iterator[StoredRow]:
+    def scan(self, columns: Optional[frozenset] = None) -> Iterator[StoredRow]:
         for row_key in list(self._locations):
             try:
-                yield self.read(row_key)
+                yield self.read(row_key, columns)
             except RecordNotFoundError:  # pragma: no cover - defensive
                 continue
 
-    def fetch(self, row_keys: Iterator[int]) -> Iterator[StoredRow]:
-        """Materialize the rows with the given keys, skipping vanished ones."""
+    #: fetch() chunks grow geometrically from this size up to the cap: small
+    #: first chunks keep LIMIT-k consumers at O(k) heap reads, large later
+    #: chunks amortize the page-locality sort over big fetches.
+    _FETCH_CHUNK_START = 8
+    _FETCH_CHUNK_MAX = 512
+
+    def fetch(self, row_keys: Iterator[int],
+              columns: Optional[frozenset] = None) -> Iterator[StoredRow]:
+        """Materialize the rows with the given keys, skipping vanished ones.
+
+        Keys are read in chunks sorted by heap page (the row→page map), so a
+        large index fetch sweeps each page's records together instead of
+        ping-ponging across the buffer pool; the chunk size starts small and
+        doubles, keeping early-exit consumers (``LIMIT k``) at O(k) reads.
+        """
+        chunk: List[Tuple[RecordId, int]] = []
+        limit = self._FETCH_CHUNK_START
         for row_key in row_keys:
-            if row_key in self._locations:
-                yield self.read(row_key)
+            record_id = self._locations.get(row_key)
+            if record_id is None:
+                continue
+            chunk.append((record_id, row_key))
+            if len(chunk) >= limit:
+                yield from self._read_chunk(chunk, columns)
+                chunk = []
+                limit = min(limit * 2, self._FETCH_CHUNK_MAX)
+        if chunk:
+            yield from self._read_chunk(chunk, columns)
+
+    def _read_chunk(self, chunk: List[Tuple[RecordId, int]],
+                    columns: Optional[frozenset]) -> Iterator[StoredRow]:
+        chunk.sort()
+        for _record_id, row_key in chunk:
+            # Re-resolve: the row may have vanished or relocated since it was
+            # queued (lazy consumers interleave with other work).
+            record_id = self._locations.get(row_key)
+            if record_id is None:
+                continue
+            payload = self.heap.read(record_id)
+            self.stats.reads += 1
+            yield self._decode_row(payload, columns)
 
     def row_keys(self) -> List[int]:
         return list(self._locations)

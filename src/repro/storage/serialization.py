@@ -96,6 +96,49 @@ def decode_value(data: bytes, offset: int = 0) -> Tuple[Any, int]:
     raise StorageError(f"unknown type tag {tag} at offset {offset - 1}")
 
 
+def skip_values(data: bytes, offset: int, count: int) -> int:
+    """Advance past ``count`` encoded values without materializing them.
+
+    The column-pruned read path uses this to hop over a *run* of fields a
+    query does not touch in one call: fixed-width payloads are skipped by
+    size, strings/bytes by their length prefix, so no Python object (and no
+    UTF-8 decode) is ever built for an unreferenced column.
+    """
+    size = len(data)
+    unpack_length = _LEN_STRUCT.unpack_from
+    for _ in range(count):
+        if offset >= size:
+            raise StorageError("truncated record: no type tag")
+        tag = data[offset]
+        offset += 1
+        if tag == _TAG_TEXT or tag == _TAG_BYTES:
+            length_end = offset + 4
+            if length_end > size:
+                raise StorageError("truncated record: short length prefix")
+            offset = length_end + unpack_length(data, offset)[0]
+        elif tag == _TAG_INT or tag == _TAG_FLOAT:
+            offset += 8
+        elif tag not in (_TAG_NULL, _TAG_SUPPRESSED, _TAG_REMOVED,
+                         _TAG_BOOL_TRUE, _TAG_BOOL_FALSE):
+            raise StorageError(f"unknown type tag {tag} at offset {offset - 1}")
+    if offset > size:
+        raise StorageError("truncated record: short payload")
+    return offset
+
+
+def skip_value(data: bytes, offset: int = 0) -> int:
+    """Advance past one encoded value without materializing it."""
+    return skip_values(data, offset, 1)
+
+
+def record_field_count(data: bytes) -> Tuple[int, int]:
+    """Field count of an encoded record plus the offset of its first field."""
+    if len(data) < _COUNT_STRUCT.size:
+        raise StorageError("truncated record: missing field count")
+    (count,) = _COUNT_STRUCT.unpack_from(data, 0)
+    return count, _COUNT_STRUCT.size
+
+
 def encode_record(values: Sequence[Any]) -> bytes:
     """Encode a record (tuple of values) with a leading field count."""
     if len(values) > 0xFFFF:
@@ -121,4 +164,5 @@ def decode_record(data: bytes) -> Tuple[Any, ...]:
     return tuple(values)
 
 
-__all__ = ["encode_value", "decode_value", "encode_record", "decode_record"]
+__all__ = ["encode_value", "decode_value", "encode_record", "decode_record",
+           "skip_value", "skip_values", "record_field_count"]

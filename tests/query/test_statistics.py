@@ -1,0 +1,255 @@
+"""Table statistics: incremental maintenance, estimates, plan flips, recovery.
+
+The statistics subsystem (:mod:`repro.query.statistics`) is maintained at the
+same engine sites as secondary indexes — insert, degradation step, stable
+update, removal — and feeds the planner's cost-based access-path choice.
+These tests cover its whole life cycle: maintenance under insert/degrade/
+remove waves, estimate accuracy against actual cardinalities, plans flipping
+between index and sequential scans as stats cross the cost threshold, and
+exact survival of statistics through checkpoint + crash recovery.
+"""
+
+import pytest
+
+from repro import AttributeLCP, InstantDB
+from repro.core.domains import build_location_tree
+from repro.query.statistics import ColumnStatistics, StatisticsRegistry
+
+PARIS = "1 Main Street, Paris"
+LYON = "2 Station Road, Lyon"
+TRANSITIONS = ["1 hour", "1 day", "1 month", "3 months"]
+
+
+def build_db(data_dir=None):
+    db = InstantDB(data_dir=None if data_dir is None else str(data_dir))
+    location = db.register_domain(build_location_tree())
+    db.register_policy(AttributeLCP(location, transitions=TRANSITIONS,
+                                    name="location_lcp"))
+    db.execute("CREATE TABLE trace (id INT PRIMARY KEY, kind TEXT, location TEXT "
+               "DEGRADABLE DOMAIN location POLICY location_lcp)")
+    return db
+
+
+class TestColumnStatistics:
+    def test_add_remove_tracks_ndv_and_extremes(self):
+        stats = ColumnStatistics()
+        for value in (5, 1, 9, 1):
+            stats.add(value)
+        assert stats.ndv == 3
+        assert stats.non_missing == 4
+        assert stats.min_value == 1.0 and stats.max_value == 9.0
+        stats.remove(9)
+        assert stats.max_value == 5.0          # extreme rescans lazily
+        stats.remove(1)
+        assert stats.ndv == 2                  # one '1' remains
+        assert stats.min_value == 1.0
+
+    def test_missing_values_are_counted_separately(self):
+        stats = ColumnStatistics()
+        stats.add(None)
+        stats.add(3)
+        assert stats.missing == 1
+        assert stats.non_missing == 1
+        assert stats.eq_rows(None) == 0.0
+
+    def test_equality_matches_executor_semantics(self):
+        stats = ColumnStatistics()
+        stats.add("Paris")
+        stats.add(10)
+        assert stats.eq_rows("PARIS") == 1.0   # case-insensitive like '='
+        assert stats.eq_rows(10.0) == 1.0      # numeric cross-type like '='
+
+    def test_range_fraction_is_exact_at_small_ndv(self):
+        stats = ColumnStatistics()
+        for value in range(100):
+            stats.add(value)
+        assert stats.range_fraction(low=10, high=19) == pytest.approx(0.10)
+        assert stats.range_fraction(low=10, high=19,
+                                    include_high=False) == pytest.approx(0.09)
+
+
+class TestIncrementalMaintenance:
+    def test_insert_degrade_remove_wave(self):
+        db = build_db()
+        db.executemany("INSERT INTO trace VALUES (?, ?, ?)",
+                       [(i, f"kind-{i % 4}", PARIS if i % 2 else LYON)
+                        for i in range(1, 101)])
+        stats = db.statistics.table("trace")
+        assert stats.row_count == 100
+        assert stats.ndv("kind") == 4
+        assert stats.ndv("location") == 2
+        # One degradation wave: every address becomes its city, so the
+        # location frequency map collapses onto the two city values.
+        db.advance_time(hours=2)
+        assert stats.row_count == 100
+        assert stats.ndv("location") == 2
+        assert stats.estimated_eq_rows("location", "Paris") == 50
+        assert stats.estimated_eq_rows("location", PARIS) == 0.5  # gone
+        # Deletes shrink the counts through the same hooks (a purpose is
+        # needed so the degraded rows are visible to the predicate at all).
+        db.execute("DECLARE PURPOSE wipe SET ACCURACY LEVEL city "
+                   "FOR trace.location")
+        db.execute("DELETE FROM trace WHERE kind = 'kind-0'", purpose="wipe")
+        assert stats.row_count == 75
+        assert stats.ndv("kind") == 3
+
+    def test_final_removal_wave_empties_the_stats(self):
+        db = build_db()
+        db.executemany("INSERT INTO trace VALUES (?, ?, ?)",
+                       [(i, "k", PARIS) for i in range(1, 21)])
+        stats = db.statistics.table("trace")
+        db.advance_time(days=200)              # whole life cycle: tuples gone
+        assert db.row_count("trace") == 0
+        assert stats.row_count == 0
+        assert stats.ndv("location") == 0
+
+    def test_stable_update_moves_counts(self):
+        db = build_db()
+        db.executemany("INSERT INTO trace VALUES (?, ?, ?)",
+                       [(i, "old", PARIS) for i in range(1, 11)])
+        db.execute("UPDATE trace SET kind = 'new' WHERE id <= 4")
+        stats = db.statistics.table("trace")
+        assert stats.estimated_eq_rows("kind", "new") == 4
+        assert stats.estimated_eq_rows("kind", "old") == 6
+
+    def test_drop_table_clears_statistics(self):
+        db = build_db()
+        db.execute("INSERT INTO trace VALUES (1, 'k', 'x')")
+        assert db.statistics.table("trace") is not None
+        db.execute("DROP TABLE trace")
+        assert db.statistics.table("trace") is None
+
+
+class TestEstimatesVsActuals:
+    def test_equality_estimate_is_exact(self):
+        db = InstantDB()
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp TEXT)")
+        db.executemany("INSERT INTO t VALUES (?, ?)",
+                       [(i, f"g{i % 5}") for i in range(1, 201)])
+        stats = db.statistics.table("t")
+        actual = len(db.execute("SELECT id FROM t WHERE grp = 'g1'").rows)
+        assert stats.estimated_eq_rows("grp", "g1") == actual == 40
+
+    def test_range_estimate_is_exact_at_small_ndv(self):
+        db = InstantDB()
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, score INT)")
+        db.executemany("INSERT INTO t VALUES (?, ?)",
+                       [(i, i % 100) for i in range(1, 201)])
+        stats = db.statistics.table("t")
+        actual = len(db.execute(
+            "SELECT id FROM t WHERE score >= 10 AND score < 20").rows)
+        estimate = stats.estimated_range_rows("score", low=10, high=20,
+                                              include_high=False)
+        assert estimate == actual == 20
+
+    def test_explain_shows_estimated_and_actual_rows(self):
+        db = InstantDB()
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp TEXT)")
+        db.executemany("INSERT INTO t VALUES (?, ?)",
+                       [(i, f"g{i % 5}") for i in range(1, 201)])
+        plain = "\n".join(r[0] for r in db.execute(
+            "EXPLAIN SELECT id FROM t WHERE grp = 'g1'").rows)
+        assert "est~" in plain
+        analyzed = "\n".join(r[0] for r in db.execute(
+            "EXPLAIN ANALYZE SELECT id FROM t WHERE grp = 'g1'").rows)
+        assert "(rows=40)" in analyzed and "est~40" in analyzed
+
+
+class TestPlanFlips:
+    def build_skewed(self, hot_rows=150, rare_rows=50):
+        db = InstantDB()
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp TEXT)")
+        db.execute("CREATE INDEX idx_grp ON t (grp) USING hash")
+        rows = [(i, "hot") for i in range(1, hot_rows + 1)]
+        rows += [(hot_rows + i, f"rare-{i}") for i in range(1, rare_rows + 1)]
+        db.executemany("INSERT INTO t VALUES (?, ?)", rows)
+        return db
+
+    def explain(self, db, sql):
+        return "\n".join(r[0] for r in db.execute(f"EXPLAIN {sql}").rows)
+
+    def test_selective_value_uses_the_index(self):
+        db = self.build_skewed()
+        text = self.explain(db, "SELECT id FROM t WHERE grp = 'rare-7'")
+        assert "IndexScan" in text
+
+    def test_dominant_value_flips_to_seq_scan(self):
+        db = self.build_skewed()
+        text = self.explain(db, "SELECT id FROM t WHERE grp = 'hot'")
+        assert "SeqScan" in text
+        assert "IndexScan" not in text
+
+    def test_flip_happens_when_stats_cross_the_threshold(self):
+        """The same query plans differently as inserts shift the frequency."""
+        db = InstantDB()
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp TEXT)")
+        db.execute("CREATE INDEX idx_grp ON t (grp) USING hash")
+        db.executemany("INSERT INTO t VALUES (?, ?)",
+                       [(i, f"g{i}") for i in range(1, 101)])   # all distinct
+        sql = "SELECT id FROM t WHERE grp = 'g1'"
+        assert "IndexScan" in self.explain(db, sql)
+        # Flood the table with the probed value until it dominates.
+        db.executemany("INSERT INTO t VALUES (?, ?)",
+                       [(i, "g1") for i in range(101, 401)])
+        assert "SeqScan" in self.explain(db, sql)
+
+    def test_tiny_tables_keep_the_index_preference(self):
+        """Below the small-table threshold estimates are noise; the
+        historical index preference is kept."""
+        db = InstantDB()
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp TEXT)")
+        db.execute("CREATE INDEX idx_grp ON t (grp) USING hash")
+        db.executemany("INSERT INTO t VALUES (?, ?)",
+                       [(i, "same") for i in range(1, 11)])
+        assert "IndexScan" in self.explain(db,
+                                           "SELECT id FROM t WHERE grp = 'same'")
+
+    def test_baseline_mode_keeps_heuristic_plans(self):
+        db = InstantDB(read_path_optimizations=False)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp TEXT)")
+        db.execute("CREATE INDEX idx_grp ON t (grp) USING hash")
+        db.executemany("INSERT INTO t VALUES (?, ?)",
+                       [(i, "hot") for i in range(1, 201)])
+        text = self.explain(db, "SELECT id FROM t WHERE grp = 'hot'")
+        assert "IndexScan" in text             # no stats: legacy preference
+
+
+class TestStatsSurviveRecovery:
+    def test_checkpoint_close_reopen_recover_rebuilds_exactly(self, tmp_path):
+        db = build_db(tmp_path)
+        db.executemany("INSERT INTO trace VALUES (?, ?, ?)",
+                       [(i, f"kind-{i % 3}", PARIS if i % 2 else LYON)
+                        for i in range(1, 61)])
+        db.advance_time(hours=2)               # mixed accuracy levels on disk
+        before = db.statistics.table("trace")
+        before_snapshot = (before.row_count, before.ndv("kind"),
+                           before.ndv("location"),
+                           before.estimated_eq_rows("location", "Paris"))
+        db.close()
+
+        db2 = build_db(tmp_path)
+        db2.recover(drain=False)
+        after = db2.statistics.table("trace")
+        assert (after.row_count, after.ndv("kind"), after.ndv("location"),
+                after.estimated_eq_rows("location", "Paris")) == before_snapshot
+
+    def test_crash_without_checkpoint_still_rebuilds_from_recovered_rows(self, tmp_path):
+        db = build_db(tmp_path)
+        db.executemany("INSERT INTO trace VALUES (?, ?, ?)",
+                       [(i, "k", PARIS) for i in range(1, 21)])
+        db.daemon.pause()                      # crash: no close, no checkpoint
+
+        db2 = build_db(tmp_path)
+        db2.recover(drain=False)
+        stats = db2.statistics.table("trace")
+        assert stats.row_count == db2.row_count("trace") == 20
+        assert stats.estimated_eq_rows("location", PARIS) == 20
+
+
+class TestRegistry:
+    def test_hooks_ignore_unregistered_tables(self):
+        registry = StatisticsRegistry()
+        registry.on_insert("ghost", {"a": 1})
+        registry.on_remove("ghost", {"a": 1})
+        registry.on_value_change("ghost", "a", 1, 2)
+        assert registry.table("ghost") is None
