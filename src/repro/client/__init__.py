@@ -1,0 +1,18 @@
+"""Remote PEP 249 driver for the InstantDB wire server.
+
+``repro.client.connect(host, port)`` mirrors the in-process
+``repro.connect()`` surface over a socket; see :mod:`repro.client.remote`.
+"""
+
+from .remote import (
+    FETCH_BATCH,
+    RemoteConnection,
+    RemoteCursor,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
+
+__all__ = ["connect", "RemoteConnection", "RemoteCursor", "FETCH_BATCH",
+           "apilevel", "threadsafety", "paramstyle"]

@@ -1,0 +1,412 @@
+"""Remote PEP 249 driver: the wire-protocol twin of :mod:`repro.api`.
+
+``repro.client.connect(host, port)`` returns a connection with the *same*
+DB-API 2.0 surface as the in-process ``repro.connect()`` — qmark parameters,
+lazy implicit transactions, streaming fetch-N cursors, purpose scoping per
+connection or per statement — except the engine lives behind an
+:class:`~repro.server.server.InstantDBServer` socket.
+
+Result sets stay server-side: ``EXECUTE`` replies carry an initial prefetch
+batch and a cursor id, and the cursor pulls the rest in ``FETCH`` batches,
+so a large SELECT costs the client only the rows it actually reads.  Server
+errors arrive as typed frames carrying the exception class name, re-raised
+here as the matching :mod:`repro.core.errors` class — a remote
+``TransactionAborted`` is catchable exactly like a local one.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core import errors as _errors
+from ..core.errors import (
+    InterfaceError,
+    OperationalError,
+    ParameterError,
+    ProgrammingError,
+)
+from ..core.policy import Purpose
+from ..query.parameters import check_parameter
+from ..server import protocol
+
+PurposeSpec = Union[None, str, Purpose]
+
+#: Rows pulled per FETCH round trip by ``fetchall`` and iteration.
+FETCH_BATCH = 1024
+
+#: PEP 249 module globals (mirrors :mod:`repro.api.connection`).
+apilevel = "2.0"
+threadsafety = 1
+paramstyle = "qmark"
+
+
+def connect(host: str = "127.0.0.1", port: int = 5433, *,
+            purpose: PurposeSpec = None,
+            timeout: Optional[float] = 30.0) -> "RemoteConnection":
+    """Open a PEP 249 connection to a running InstantDB server."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as error:
+        raise OperationalError(
+            f"cannot connect to instantdb server at {host}:{port}: "
+            f"{error}") from error
+    sock.settimeout(timeout)
+    return RemoteConnection(sock, purpose=purpose)
+
+
+def _check_params(params: Any) -> List[Any]:
+    """Validate parameters client-side with the engine's own rules, so a bad
+    value raises the same :class:`ParameterError` (an ``InterfaceError``)
+    before anything crosses the wire."""
+    if isinstance(params, (str, bytes)):
+        raise ParameterError(
+            "parameters must be a sequence of values, not a bare string")
+    return [check_parameter(value) for value in params]
+
+
+def _resolve_error(class_name: Any, message: Any) -> Exception:
+    """Rebuild a server-side exception from its wire form."""
+    text = str(message)
+    candidate = getattr(_errors, str(class_name), None)
+    if isinstance(candidate, type) and issubclass(candidate, Exception):
+        return candidate(text)
+    if class_name == "ProtocolError":
+        return OperationalError(text)
+    return _errors.DatabaseError(f"{class_name}: {text}")
+
+
+class RemoteConnection:
+    """A PEP 249 connection whose transaction lives in a server session."""
+
+    def __init__(self, sock: socket.socket,
+                 purpose: PurposeSpec = None) -> None:
+        self._sock: Optional[socket.socket] = sock
+        self._purpose = purpose
+        self._closed = False
+        self._in_txn = False
+        self.session_id: Optional[int] = None
+        self._handshake()
+
+    def _handshake(self) -> None:
+        reply_type, reply = self._request(protocol.HELLO, {
+            "version": protocol.PROTOCOL_VERSION,
+            "client": "repro-client",
+        })
+        self.session_id = reply.get("session")
+
+    # -- wire I/O ------------------------------------------------------------
+
+    def _send(self, frame_type: int, payload: Any) -> None:
+        assert self._sock is not None
+        try:
+            self._sock.sendall(protocol.encode_frame(frame_type, payload))
+        except OSError as error:
+            self._drop()
+            raise OperationalError(
+                f"lost connection to server: {error}") from error
+
+    def _read_exact(self, n: int) -> bytes:
+        assert self._sock is not None
+        chunks: List[bytes] = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout as error:
+                self._drop()
+                raise OperationalError("server reply timed out") from error
+            except OSError as error:
+                self._drop()
+                raise OperationalError(
+                    f"lost connection to server: {error}") from error
+            if not chunk:
+                self._drop()
+                raise OperationalError("server closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _request(self, frame_type: int, payload: Any) -> Tuple[int, Any]:
+        """One request/reply exchange; raises the mapped server error."""
+        if self._sock is None:
+            raise InterfaceError("connection is closed")
+        self._send(frame_type, payload)
+        prefix = self._read_exact(4)
+        length = protocol.parse_frame_length(prefix)
+        reply_type, reply = protocol.decode_frame_body(self._read_exact(length))
+        if isinstance(reply, dict) and "in_txn" in reply:
+            self._in_txn = bool(reply["in_txn"])
+        if reply_type == protocol.ERROR:
+            raise _resolve_error(reply.get("error_class"),
+                                 reply.get("message"))
+        return reply_type, reply
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._in_txn = False
+
+    # -- connection surface (mirrors repro.api.Connection) --------------------
+
+    @property
+    def purpose(self) -> PurposeSpec:
+        return self._purpose
+
+    def set_purpose(self, purpose: PurposeSpec) -> None:
+        """Change the connection's default query purpose."""
+        self._purpose = purpose
+
+    def _check_open(self) -> None:
+        if self._closed or self._sock is None:
+            raise InterfaceError("connection is closed")
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_txn
+
+    def begin(self) -> None:
+        """Eagerly open the session's transaction (statements do it lazily)."""
+        self._check_open()
+        self._request(protocol.BEGIN, {})
+
+    def commit(self) -> None:
+        """Commit the open transaction (no-op when nothing is pending)."""
+        self._check_open()
+        self._request(protocol.COMMIT, {})
+
+    def rollback(self) -> None:
+        """Roll back the open transaction (no-op when nothing is pending)."""
+        self._check_open()
+        self._request(protocol.ROLLBACK, {})
+
+    def metrics(self) -> dict:
+        """The server's metrics snapshot (sessions, latency quantiles, ...)."""
+        self._check_open()
+        _, reply = self._request(protocol.METRICS, {})
+        return reply
+
+    def close(self) -> None:
+        """Roll back any pending transaction and end the server session."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._sock is not None:
+            try:
+                if self._in_txn:
+                    self._request(protocol.ROLLBACK, {})
+                self._request(protocol.GOODBYE, {})
+            except Exception:
+                pass
+            self._drop()
+
+    def __enter__(self) -> "RemoteConnection":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
+        finally:
+            self.close()
+
+    # -- cursors -------------------------------------------------------------
+
+    def cursor(self) -> "RemoteCursor":
+        self._check_open()
+        return RemoteCursor(self)
+
+    def execute(self, sql: str, params: Sequence[Any] = (), *,
+                purpose: PurposeSpec = None) -> "RemoteCursor":
+        """Shortcut: create a cursor and execute one statement on it."""
+        cursor = self.cursor()
+        return cursor.execute(sql, params, purpose=purpose)
+
+    def executemany(self, sql: str,
+                    seq_of_params: Iterable[Sequence[Any]]) -> "RemoteCursor":
+        """Shortcut: create a cursor and run a batched execution on it."""
+        cursor = self.cursor()
+        return cursor.executemany(sql, seq_of_params)
+
+
+class RemoteCursor:
+    """A PEP 249 cursor whose result set streams from a server cursor."""
+
+    def __init__(self, connection: RemoteConnection) -> None:
+        self.connection = connection
+        self.arraysize = 1
+        self._closed = False
+        self._reset()
+
+    def _reset(self) -> None:
+        self.description: Optional[List[Tuple]] = None
+        self.rowcount: int = -1
+        self.lastrowid: Optional[int] = None
+        self._rows: List[Tuple[Any, ...]] = []
+        self._position = 0
+        self._has_result_set = False
+        self._cursor_id: Optional[int] = None
+        self._done = True
+
+    def _check(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self.connection._check_open()
+
+    def _release_server_cursor(self) -> None:
+        if self._cursor_id is not None and not self._done:
+            try:
+                self.connection._request(protocol.CLOSE_CURSOR,
+                                         {"cursor": self._cursor_id})
+            except Exception:
+                pass
+        self._cursor_id = None
+        self._done = True
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = (), *,
+                purpose: PurposeSpec = None) -> "RemoteCursor":
+        """Execute one statement, binding qmark (``?``) parameters.
+
+        Runs inside the connection's implicit server-side transaction;
+        remember to :meth:`RemoteConnection.commit`.  Returns the cursor
+        itself so calls chain.  SELECTs stream: the reply carries a prefetch
+        batch and further rows arrive in FETCH-sized round trips.
+        """
+        self._check()
+        self._release_server_cursor()
+        resolved = purpose if purpose is not None else self.connection._purpose
+        _, reply = self.connection._request(protocol.EXECUTE, {
+            "sql": sql,
+            "params": _check_params(params),
+            "purpose": protocol.encode_purpose(resolved),
+        })
+        self._ingest(reply)
+        return self
+
+    def executemany(self, sql: str,
+                    seq_of_params: Iterable[Sequence[Any]]) -> "RemoteCursor":
+        """Execute ``sql`` once per parameter sequence (DML only)."""
+        self._check()
+        self._release_server_cursor()
+        _, reply = self.connection._request(protocol.EXECUTEMANY, {
+            "sql": sql,
+            "params_seq": [_check_params(params) for params in seq_of_params],
+        })
+        self._reset()
+        self.rowcount = reply.get("rowcount", -1)
+        return self
+
+    def _ingest(self, reply: dict) -> None:
+        self._reset()
+        if "columns" in reply:
+            self.description = [
+                (name, None, None, None, None, None, None)
+                for name in reply["columns"]
+            ]
+            self._rows = [tuple(row) for row in reply.get("rows", [])]
+            self._has_result_set = True
+            self._done = bool(reply.get("done", True))
+            self._cursor_id = None if self._done else reply.get("cursor")
+        else:
+            self.rowcount = reply.get("rowcount", -1)
+
+    # -- result-set traversal --------------------------------------------------
+
+    def _require_result_set(self) -> None:
+        if not self._has_result_set:
+            raise ProgrammingError("no result set: the previous statement was "
+                                   "not a query (or nothing was executed)")
+
+    def _fetch_from_server(self, n: int) -> None:
+        if self._done or self._cursor_id is None:
+            return
+        _, reply = self.connection._request(protocol.FETCH, {
+            "cursor": self._cursor_id,
+            "n": n,
+        })
+        # drop already-consumed rows so the buffer stays bounded
+        self._rows = self._rows[self._position:] + \
+            [tuple(row) for row in reply.get("rows", [])]
+        self._position = 0
+        if reply.get("done"):
+            self._done = True
+            self._cursor_id = None
+
+    def _buffered(self) -> int:
+        return len(self._rows) - self._position
+
+    def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        self._check()
+        self._require_result_set()
+        if self._buffered() == 0:
+            self._fetch_from_server(max(self.arraysize, 1))
+        if self._buffered() == 0:
+            return None
+        row = self._rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        self._check()
+        self._require_result_set()
+        if size is None:
+            size = self.arraysize
+        while self._buffered() < size and not self._done:
+            self._fetch_from_server(size - self._buffered())
+        rows = self._rows[self._position:self._position + size]
+        self._position += len(rows)
+        return rows
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        self._check()
+        self._require_result_set()
+        while not self._done:
+            self._fetch_from_server(FETCH_BATCH)
+        rows = self._rows[self._position:]
+        self._position = len(self._rows)
+        return rows
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return self
+
+    def __next__(self) -> Tuple[Any, ...]:
+        row = self.fetchone()
+        if row is None:
+            raise StopIteration
+        return row
+
+    # -- PEP 249 no-ops --------------------------------------------------------
+
+    def setinputsizes(self, sizes: Sequence[Any]) -> None:
+        """PEP 249 mandated no-op."""
+
+    def setoutputsize(self, size: int, column: Optional[int] = None) -> None:
+        """PEP 249 mandated no-op."""
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if not self.connection._closed and self.connection._sock is not None:
+            self._release_server_cursor()
+        self._closed = True
+        self._rows = []
+
+    def __enter__(self) -> "RemoteCursor":
+        self._check()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+__all__ = ["connect", "RemoteConnection", "RemoteCursor", "FETCH_BATCH",
+           "apilevel", "threadsafety", "paramstyle"]

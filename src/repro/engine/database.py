@@ -57,7 +57,7 @@ from ..query.catalog import Catalog, IndexInfo
 from ..query.executor import Executor, QueryResult, ROW_KEY_FIELD
 from ..query.parameters import count_placeholders
 from ..query.parser import parse_script
-from ..query.planner import Planner
+from ..query.planner import Planner, bind_physical_plan
 from ..query.prepared import PreparedStatement, StatementCache
 from ..query.statistics import StatisticsRegistry
 from ..storage.buffer import BufferPool
@@ -80,6 +80,21 @@ from .daemon import DegradationDaemon
 
 #: Back-off applied when a degradation step hits a lock conflict.
 _CONFLICT_RETRY_SECONDS = 1.0
+
+
+def _param_shape(params: Sequence[Any]) -> Optional[Tuple[str, ...]]:
+    """Parameter-shape cache key: the tuple of bound value type names.
+
+    A ``None`` value makes the shape ineligible (returns ``None``): a NULL
+    predicate is always false, while an index probed with ``None`` need not
+    agree — such executions fall back to ordinary per-execution planning.
+    """
+    shape = []
+    for value in params:
+        if value is None:
+            return None
+        shape.append(type(value).__name__)
+    return tuple(shape)
 
 #: Max step/defer entries per schedule WAL record: an unbounded wave must be
 #: split across records to respect the record codec's 65535-field cap
@@ -329,7 +344,8 @@ class InstantDB:
         statement = prepared.bind(params)
         prepared.executions += 1
         return self.execute_statement(statement, purpose=purpose, txn=txn,
-                                      prepared=prepared, stream=stream)
+                                      prepared=prepared, stream=stream,
+                                      params=params)
 
     def executemany(self, sql: str, seq_of_params: Iterable[Sequence[Any]],
                     purpose: Union[None, str, Purpose] = None,
@@ -352,7 +368,8 @@ class InstantDB:
                 statement = prepared.bind(params)
                 prepared.executions += 1
                 result = self.execute_statement(statement, purpose=purpose,
-                                                txn=active, prepared=prepared)
+                                                txn=active, prepared=prepared,
+                                                params=params)
                 if isinstance(result, int):
                     total += result
         except BaseException:
@@ -374,7 +391,8 @@ class InstantDB:
                           purpose: Union[None, str, Purpose] = None,
                           txn: Optional[Transaction] = None,
                           prepared: Optional[PreparedStatement] = None,
-                          stream: bool = False) -> Any:
+                          stream: bool = False,
+                          params: Optional[Sequence[Any]] = None) -> Any:
         self.stats.statements_executed += 1
         # Statements arriving outside the prepare/bind path (execute_script,
         # direct calls) must not smuggle unbound placeholders into storage.
@@ -388,7 +406,7 @@ class InstantDB:
             return self._execute_explain(statement, resolved, txn)
         if isinstance(statement, ast.Select):
             return self._execute_select(statement, resolved, txn, prepared,
-                                        stream=stream)
+                                        stream=stream, params=params)
         if isinstance(statement, ast.Insert):
             return self._execute_insert(statement, txn)
         if isinstance(statement, ast.Update):
@@ -439,30 +457,15 @@ class InstantDB:
     def _execute_select(self, statement: ast.Select, purpose: Optional[Purpose],
                         txn: Optional[Transaction],
                         prepared: Optional[PreparedStatement] = None,
-                        stream: bool = False) -> Any:
+                        stream: bool = False,
+                        params: Optional[Sequence[Any]] = None) -> Any:
         own_txn = txn is None
         active = txn or self.transactions.begin(now=self.clock.now())
         try:
             self._locked(active, statement.table, exclusive=False)
             for clause in statement.joins:
                 self._locked(active, clause.table, exclusive=False)
-            plan = None
-            cacheable = prepared is not None and self._purpose_is_canonical(purpose)
-            if cacheable:
-                plan = prepared.cached_plan(purpose, self.catalog.version)
-                self.statements.stats.plan_hits += plan is not None
-                self.statements.stats.plan_misses += plan is None
-            if plan is None:
-                plan = self.planner.plan_physical(statement, purpose)
-                if cacheable:
-                    prepared.store_plan(purpose, self.catalog.version, plan)
-            # Compilation accounting, mirroring the WAL's payload cache: a
-            # plan served from the statement cache already carries its
-            # compiled closures, so re-execution compiles nothing.
-            if plan.is_compiled:
-                self.statements.stats.predicate_compile_hits += 1
-            else:
-                self.statements.stats.predicate_compiles += 1
+            plan = self._plan_select(statement, purpose, prepared, params)
             if stream and not own_txn:
                 # The caller's transaction keeps the read locks while the
                 # cursor drains the pipeline lazily.
@@ -475,6 +478,74 @@ class InstantDB:
         if own_txn:
             self.transactions.commit(active, now=self.clock.now())
         return result
+
+    def _plan_select(self, statement: ast.Select, purpose: Optional[Purpose],
+                     prepared: Optional[PreparedStatement],
+                     params: Optional[Sequence[Any]]) -> Any:
+        """Resolve the physical plan for one SELECT execution.
+
+        Three paths, fastest first:
+
+        * parameter-free prepared statement — the plan is cached per
+          (purpose, catalog version, statistics epoch) and reused verbatim;
+        * parameterized prepared statement whose placeholders all sit in the
+          WHERE clause — a *template* plan (access paths carrying
+          :class:`~repro.query.planner.ParamMarker` slots) is cached per
+          parameter shape and bound to this execution's values;
+        * everything else — plan from scratch.
+
+        The statistics epoch in both cache keys retires plans costed under
+        economics a degradation wave (or any large stats shift) has since
+        invalidated.
+        """
+        stats = self.statements.stats
+        version = self.catalog.version
+        cacheable = prepared is not None and self._purpose_is_canonical(purpose)
+        if cacheable and prepared.param_count == 0:
+            epoch = self.statistics.epoch()
+            plan = prepared.cached_plan(purpose, version, epoch)
+            stats.plan_hits += plan is not None
+            stats.plan_misses += plan is None
+            if plan is None:
+                plan = self.planner.plan_physical(statement, purpose)
+                prepared.store_plan(purpose, version, plan, epoch)
+            # Compilation accounting, mirroring the WAL's payload cache: a
+            # plan served from the statement cache already carries its
+            # compiled closures, so re-execution compiles nothing.
+            if plan.is_compiled:
+                stats.predicate_compile_hits += 1
+            else:
+                stats.predicate_compiles += 1
+            return plan
+        if cacheable and params is not None and \
+                prepared.placeholders_confined_to_where:
+            shape = _param_shape(params)
+            if shape is not None:
+                epoch = self.statistics.epoch()
+                template = prepared.cached_param_plan(purpose, version, epoch,
+                                                      shape)
+                stats.plan_hits += template is not None
+                stats.plan_misses += template is None
+                if template is None:
+                    template = self.planner.plan_physical(prepared.statement,
+                                                          purpose)
+                    prepared.store_param_plan(purpose, version, epoch, shape,
+                                              template)
+                # Binding recompiles only the (small) residual predicate; the
+                # projection and join-key closures are shared with the
+                # template, so the accounting follows the template.
+                if template.is_compiled:
+                    stats.predicate_compile_hits += 1
+                else:
+                    stats.predicate_compiles += 1
+                mode = "compiled" if self.read_path_optimizations \
+                    else "interpreted"
+                return bind_physical_plan(template, params, self.catalog, mode)
+        plan = self.planner.plan_physical(statement, purpose)
+        if cacheable:
+            stats.plan_misses += 1
+        stats.predicate_compiles += 1
+        return plan
 
     def _execute_explain(self, statement: ast.Explain,
                          purpose: Optional[Purpose],

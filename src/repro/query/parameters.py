@@ -111,5 +111,16 @@ def _bind_value(element: Any, params: Tuple[Any, ...]) -> Any:
     return _bind_node(element, params)
 
 
-__all__ = ["bind_parameters", "count_placeholders", "check_parameter",
-           "SUPPORTED_PARAMETER_TYPES"]
+def bind_expression(expression: ast.Expression,
+                    params: Sequence[Any]) -> ast.Expression:
+    """Substitute placeholders inside a single expression subtree.
+
+    Used by parameter-shape-keyed plan caching: a cached template plan keeps
+    placeholders in its residual predicate, and each execution binds just that
+    expression instead of re-binding (and re-planning) the whole statement.
+    """
+    return _bind_node(expression, tuple(params))
+
+
+__all__ = ["bind_parameters", "bind_expression", "count_placeholders",
+           "check_parameter", "SUPPORTED_PARAMETER_TYPES"]

@@ -32,14 +32,21 @@ The physical step (:meth:`Planner.plan_physical`) additionally:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..core.errors import BindingError
 from ..core.policy import Purpose
 from . import ast_nodes as ast
 from .catalog import Catalog, IndexInfo
-from .compiler import CompiledSelect, compile_select
+from .compiler import (
+    CompiledSelect,
+    _truthy,
+    compile_predicate,
+    compile_select,
+    evaluate,
+)
+from .parameters import bind_expression
 from .statistics import DEFAULT_SELECTIVITY
 
 #: Cost-model constants (arbitrary units; only ratios matter).  A row fetched
@@ -53,6 +60,30 @@ INDEX_PROBE_COST = 4.0
 #: index on a tiny table costs nothing either way, and estimates on nearly
 #: empty tables are noise.
 SMALL_TABLE_ROWS = 64
+
+
+@dataclass(frozen=True)
+class ParamMarker:
+    """A plan slot fed by a ``?`` parameter (position in the bind sequence).
+
+    Parameter-shape-keyed plan caching plans the *template* statement — with
+    placeholders still in the WHERE clause — once per parameter shape; markers
+    record where the bound values flow into the access path, so re-execution
+    substitutes values instead of re-planning.
+    """
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"?{self.index}"
+
+
+def _subst_param(value: Any, params: Sequence[Any]) -> Any:
+    return params[value.index] if isinstance(value, ParamMarker) else value
+
+
+def _has_marker(*values: Any) -> bool:
+    return any(isinstance(value, ParamMarker) for value in values)
 
 
 @dataclass
@@ -330,8 +361,16 @@ class Planner:
         if access.kind == "seq":
             return float(stats.row_count)
         if access.kind == "index_eq":
+            if _has_marker(access.key):
+                # Generic-plan estimate: the value is unknown at plan time,
+                # assume an average-frequency probe (row_count / NDV).
+                ndv = stats.ndv(access.column)
+                return max(1.0, stats.row_count / ndv) if ndv \
+                    else max(1.0, stats.row_count * DEFAULT_SELECTIVITY)
             return stats.estimated_eq_rows(access.column, access.key)
         if access.kind == "index_range":
+            if _has_marker(access.low, access.high):
+                return max(1.0, stats.row_count * DEFAULT_SELECTIVITY)
             return stats.estimated_range_rows(
                 access.column, access.low, access.high,
                 access.include_low, access.include_high)
@@ -339,6 +378,10 @@ class Planner:
             # The probe also folds in finer-stored rows that generalize to
             # the key, which the frequency map cannot see; the exact count is
             # a lower bound.
+            if _has_marker(access.key):
+                ndv = stats.ndv(access.column)
+                return max(1.0, stats.row_count / ndv) if ndv \
+                    else max(1.0, stats.row_count * DEFAULT_SELECTIVITY)
             return max(1.0, stats.estimated_eq_rows(access.column, access.key))
         return None
 
@@ -359,7 +402,10 @@ class Planner:
                                            plan.base.alias)
                 if match is not None:
                     column, operator, value = match
-                    if operator == "=":
+                    if _has_marker(value) or (isinstance(value, tuple)
+                                              and _has_marker(*value)):
+                        fraction = DEFAULT_SELECTIVITY
+                    elif operator == "=":
                         fraction = stats.estimated_eq_rows(column, value) \
                             / stats.row_count
                     elif operator == "between":
@@ -572,6 +618,57 @@ class Planner:
         return candidates
 
 
+def _bind_scan(scan: TableScanPlan, params: Tuple[Any, ...]) -> TableScanPlan:
+    """A copy of ``scan`` with parameter markers replaced by bound values."""
+    access = scan.access
+    if not _has_marker(access.key, access.low, access.high):
+        return scan
+    access = dataclasses.replace(access,
+                                 key=_subst_param(access.key, params),
+                                 low=_subst_param(access.low, params),
+                                 high=_subst_param(access.high, params))
+    return dataclasses.replace(scan, access=access)
+
+
+def bind_physical_plan(template: PhysicalPlan, params: Sequence[Any],
+                       catalog: Catalog,
+                       mode: str = "compiled") -> PhysicalPlan:
+    """Bind a parameter-shape template plan to one execution's values.
+
+    The template was planned with :class:`ParamMarker` slots in its access
+    paths and raw placeholders in its residual predicate.  Binding substitutes
+    the values into the access paths, binds the residual expression, and
+    recompiles *only* the residual closure — the projection and join-key
+    closures (and the whole access-path choice) are shared with the template,
+    which is the entire point: re-execution pays a small substitution instead
+    of a full ``plan_physical``.
+    """
+    values = tuple(params)
+    compiled = template.ensure_compiled(catalog, mode)
+    base = _bind_scan(template.base, values)
+    joins = [(clause, _bind_scan(scan, values))
+             for clause, scan in template.joins]
+    residual = template.residual
+    residual_fn = compiled.residual
+    if residual is not None:
+        bound = bind_expression(residual, values)
+        if bound is not residual:
+            residual = bound
+            if mode == "compiled":
+                residual_fn = compile_predicate(bound)
+            else:
+                residual_fn = (lambda predicate: lambda row: _truthy(
+                    evaluate(predicate, row)))(bound)
+    bound_compiled = CompiledSelect(
+        mode=compiled.mode, columns=compiled.columns, items=compiled.items,
+        project=compiled.project, residual=residual_fn,
+        join_keys=compiled.join_keys)
+    return PhysicalPlan(statement=template.statement, base=base, joins=joins,
+                        purpose=template.purpose, residual=residual,
+                        residual_selectivity=template.residual_selectivity,
+                        _compiled=bound_compiled)
+
+
 def _join_estimate(left_rows: Optional[float], scan: TableScanPlan,
                    right_stats, clause: ast.JoinClause) -> Optional[float]:
     """Rows out of one hash join, given the streamed side's estimate."""
@@ -624,32 +721,50 @@ def _flatten_and(expression: ast.Expression) -> List[ast.Expression]:
     return [expression]
 
 
+def _constant_value(expression: ast.Expression) -> Tuple[bool, Any]:
+    """A literal's value, or a :class:`ParamMarker` for a ``?`` placeholder.
+
+    Placeholders are plan-time constants under parameter-shape-keyed caching:
+    the access path records *where* the value comes from, and binding
+    substitutes the actual parameter per execution.
+    """
+    if isinstance(expression, ast.Literal):
+        return True, expression.value
+    if isinstance(expression, ast.Placeholder):
+        return True, ParamMarker(expression.index)
+    return False, None
+
+
 def _as_column_literal(expression: ast.Expression, table: str,
                        alias: str) -> Optional[Tuple[str, str, Any]]:
-    """Recognize ``column <op> literal`` conjuncts bound to ``table``/``alias``."""
+    """Recognize ``column <op> constant`` conjuncts bound to ``table``/``alias``
+    (the constant side may be a literal or a ``?`` placeholder)."""
     def column_matches(ref: ast.ColumnRef) -> bool:
         return ref.table is None or ref.table in (table.lower(), alias.lower())
 
     if isinstance(expression, ast.Comparison):
         left, right = expression.left, expression.right
-        if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal) \
-                and column_matches(left):
-            return left.column, expression.operator, right.value
-        if isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal) \
-                and column_matches(right):
-            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
-            operator = flipped.get(expression.operator, expression.operator)
-            return right.column, operator, left.value
+        if isinstance(left, ast.ColumnRef) and column_matches(left):
+            ok, value = _constant_value(right)
+            if ok:
+                return left.column, expression.operator, value
+        if isinstance(right, ast.ColumnRef) and column_matches(right):
+            ok, value = _constant_value(left)
+            if ok:
+                flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+                operator = flipped.get(expression.operator, expression.operator)
+                return right.column, operator, value
     if isinstance(expression, ast.Between) and not expression.negated:
         if isinstance(expression.operand, ast.ColumnRef) and \
-                isinstance(expression.low, ast.Literal) and \
-                isinstance(expression.high, ast.Literal) and \
                 column_matches(expression.operand):
-            return expression.operand.column, "between", \
-                (expression.low.value, expression.high.value)
+            low_ok, low = _constant_value(expression.low)
+            high_ok, high = _constant_value(expression.high)
+            if low_ok and high_ok:
+                return expression.operand.column, "between", (low, high)
     return None
 
 
 __all__ = ["Planner", "SelectPlan", "PhysicalPlan", "TableScanPlan", "AccessPath",
+           "ParamMarker", "bind_physical_plan",
            "SEQ_ROW_COST", "INDEX_FETCH_COST", "INDEX_PROBE_COST",
            "SMALL_TABLE_ROWS"]

@@ -8,12 +8,21 @@ and never mutates the cached tree, so one prepared statement can safely be
 bound N times inside ``executemany``.
 
 Parameter-free ``SELECT`` statements additionally cache their *physical*
-plan per (purpose, catalog version): repeated identical queries — the common
-shape of the OLTP benchmark mixes — skip accuracy binding, access-path
-selection and the residual-predicate split entirely; only the (cheap)
-operator-tree instantiation happens per execution.  A catalog change (new
-table, index or purpose) bumps the catalog version and implicitly invalidates
-every cached plan.
+plan per (purpose, catalog version, statistics epoch): repeated identical
+queries — the common shape of the OLTP benchmark mixes — skip accuracy
+binding, access-path selection and the residual-predicate split entirely;
+only the (cheap) operator-tree instantiation happens per execution.  A
+catalog change (new table, index or purpose) bumps the catalog version, and
+a large-enough statistics shift (e.g. a degradation wave collapsing NDV)
+bumps the registry's statistics epoch — either implicitly invalidates every
+cached plan, so a plan can never outlive the economics it was costed under.
+
+Parameterized ``SELECT`` statements whose placeholders all sit in the WHERE
+clause cache a *template* plan per parameter shape (the tuple of bound value
+types): the template is planned once with
+:class:`~repro.query.planner.ParamMarker` slots in its access paths, and
+every execution binds values into a copy via
+:func:`~repro.query.planner.bind_physical_plan` instead of re-planning.
 """
 
 from __future__ import annotations
@@ -28,6 +37,9 @@ from .parameters import bind_parameters, count_placeholders
 from .parser import parse
 from .planner import PhysicalPlan
 
+#: Max distinct (purpose, shape) template plans kept per prepared statement.
+PARAM_PLAN_CACHE_SIZE = 8
+
 
 @dataclass
 class PreparedStatement:
@@ -37,9 +49,15 @@ class PreparedStatement:
     statement: ast.Statement
     param_count: int
     executions: int = 0
-    #: (purpose name, catalog version) -> physical plan; only used when
-    #: param_count == 0.
-    _plans: Dict[Tuple[Optional[str], int], PhysicalPlan] = field(default_factory=dict)
+    #: (purpose name, catalog version, stats epoch) -> physical plan; only
+    #: used when param_count == 0.
+    _plans: Dict[Tuple[Optional[str], int, int], PhysicalPlan] = \
+        field(default_factory=dict)
+    #: (purpose name, catalog version, stats epoch, param shape) -> template
+    #: plan with ParamMarker slots; only used when param_count > 0.
+    _param_plans: "OrderedDict[Tuple[Optional[str], int, int, Tuple[str, ...]], PhysicalPlan]" = \
+        field(default_factory=OrderedDict)
+    _where_confined: Optional[bool] = field(default=None, repr=False)
 
     def bind(self, params: Optional[Sequence[Any]] = None) -> ast.Statement:
         """Return an executable statement with ``params`` substituted."""
@@ -51,20 +69,63 @@ class PreparedStatement:
 
     # -- plan reuse ----------------------------------------------------------
 
-    def cached_plan(self, purpose: Optional[Purpose],
-                    catalog_version: int) -> Optional[PhysicalPlan]:
+    def cached_plan(self, purpose: Optional[Purpose], catalog_version: int,
+                    stats_epoch: int = 0) -> Optional[PhysicalPlan]:
         if self.param_count != 0:
             return None
-        return self._plans.get((_purpose_key(purpose), catalog_version))
+        return self._plans.get((_purpose_key(purpose), catalog_version,
+                                stats_epoch))
 
     def store_plan(self, purpose: Optional[Purpose], catalog_version: int,
-                   plan: PhysicalPlan) -> None:
+                   plan: PhysicalPlan, stats_epoch: int = 0) -> None:
         if self.param_count != 0:
             return
-        # Plans from stale catalog versions can never be reused again.
-        for key in [key for key in self._plans if key[1] != catalog_version]:
+        # Plans from stale catalog versions or statistics epochs can never
+        # be reused again.
+        for key in [key for key in self._plans
+                    if key[1] != catalog_version or key[2] != stats_epoch]:
             del self._plans[key]
-        self._plans[(_purpose_key(purpose), catalog_version)] = plan
+        self._plans[(_purpose_key(purpose), catalog_version, stats_epoch)] = plan
+
+    # -- parameter-shape template plans ---------------------------------------
+
+    @property
+    def placeholders_confined_to_where(self) -> bool:
+        """All placeholders sit in the WHERE clause of a SELECT.
+
+        Only then is template planning safe: the projection, joins, grouping
+        and ordering are parameter-independent, so the compiled closures can
+        be shared across executions and only the access-path values and the
+        residual predicate need per-execution binding.
+        """
+        if self._where_confined is None:
+            statement = self.statement
+            self._where_confined = (
+                isinstance(statement, ast.Select)
+                and statement.where is not None
+                and count_placeholders(statement.where) == self.param_count
+            )
+        return self._where_confined
+
+    def cached_param_plan(self, purpose: Optional[Purpose],
+                          catalog_version: int, stats_epoch: int,
+                          shape: Tuple[str, ...]) -> Optional[PhysicalPlan]:
+        key = (_purpose_key(purpose), catalog_version, stats_epoch, shape)
+        plan = self._param_plans.get(key)
+        if plan is not None:
+            self._param_plans.move_to_end(key)
+        return plan
+
+    def store_param_plan(self, purpose: Optional[Purpose],
+                         catalog_version: int, stats_epoch: int,
+                         shape: Tuple[str, ...], plan: PhysicalPlan) -> None:
+        for key in [key for key in self._param_plans
+                    if key[1] != catalog_version or key[2] != stats_epoch]:
+            del self._param_plans[key]
+        self._param_plans[(_purpose_key(purpose), catalog_version,
+                           stats_epoch, shape)] = plan
+        while len(self._param_plans) > PARAM_PLAN_CACHE_SIZE:
+            self._param_plans.popitem(last=False)
 
 
 def _purpose_key(purpose: Optional[Purpose]) -> Optional[str]:
@@ -122,4 +183,5 @@ class StatementCache:
         return sql in self._entries
 
 
-__all__ = ["PreparedStatement", "StatementCache", "StatementCacheStats"]
+__all__ = ["PreparedStatement", "StatementCache", "StatementCacheStats",
+           "PARAM_PLAN_CACHE_SIZE"]

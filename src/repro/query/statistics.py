@@ -38,6 +38,15 @@ EXACT_RANGE_NDV_LIMIT = 4096
 #: Selectivity assumed for a conjunct the statistics cannot estimate.
 DEFAULT_SELECTIVITY = 1.0 / 3.0
 
+#: Statistics-epoch bump rule: a table's epoch advances once the number of
+#: modifications (inserts, removals, value transitions) since the last bump
+#: exceeds ``max(EPOCH_MOD_FLOOR, row_count * EPOCH_MOD_FRACTION)``.  Cached
+#: plans are keyed on the registry epoch, so a stats shift large enough to
+#: change access-path economics (e.g. a degradation wave collapsing NDV)
+#: forces a re-plan, while steady-state trickle writes keep plans cached.
+EPOCH_MOD_FLOOR = 64
+EPOCH_MOD_FRACTION = 0.2
+
 
 def _stat_key(value: Any) -> Any:
     """Equality-stable surrogate matching the executor's ``=`` semantics
@@ -186,29 +195,46 @@ class TableStatistics:
         self.columns: Dict[str, ColumnStatistics] = {
             column.name: ColumnStatistics() for column in schema.columns
         }
+        #: Monotonic counter bumped when enough modifications accumulated to
+        #: shift plan economics; part of the prepared-plan cache key.
+        self.epoch = 0
+        self._mods_since_epoch = 0
 
     # -- incremental maintenance ----------------------------------------------
+
+    def _note_mod(self) -> None:
+        self._mods_since_epoch += 1
+        if self._mods_since_epoch >= max(EPOCH_MOD_FLOOR,
+                                         self.row_count * EPOCH_MOD_FRACTION):
+            self.epoch += 1
+            self._mods_since_epoch = 0
 
     def on_insert(self, values: Dict[str, Any]) -> None:
         self.row_count += 1
         for name, stats in self.columns.items():
             stats.add(values.get(name))
+        self._note_mod()
 
     def on_remove(self, values: Dict[str, Any]) -> None:
         self.row_count = max(0, self.row_count - 1)
         for name, stats in self.columns.items():
             stats.remove(values.get(name))
+        self._note_mod()
 
     def on_value_change(self, column: str, old: Any, new: Any) -> None:
         """One value transition: a degradation step or a stable update."""
         stats = self.columns.get(column)
         if stats is not None:
             stats.replace(old, new)
+            self._note_mod()
 
     def reset(self) -> None:
         self.row_count = 0
         for name in self.columns:
             self.columns[name] = ColumnStatistics()
+        # Wholesale replacement (recovery rebuild) invalidates cached plans.
+        self.epoch += 1
+        self._mods_since_epoch = 0
 
     def rebuild(self, rows: Iterable[Dict[str, Any]]) -> None:
         """Exact rebuild from materialized row values (recovery)."""
@@ -256,6 +282,9 @@ class StatisticsRegistry:
 
     def __init__(self) -> None:
         self._tables: Dict[str, TableStatistics] = {}
+        #: Keeps :meth:`epoch` monotonic across table drops (a dropped table's
+        #: accumulated epoch would otherwise vanish from the sum).
+        self._epoch_offset = 0
 
     def register(self, schema: TableSchema) -> TableStatistics:
         stats = TableStatistics(schema)
@@ -263,7 +292,19 @@ class StatisticsRegistry:
         return stats
 
     def drop(self, table: str) -> None:
-        self._tables.pop(table.lower(), None)
+        dropped = self._tables.pop(table.lower(), None)
+        if dropped is not None:
+            self._epoch_offset += dropped.epoch + 1
+
+    def epoch(self) -> int:
+        """Registry-wide statistics epoch (part of the plan-cache key).
+
+        Monotonically non-decreasing: any table accumulating enough
+        modifications — or being dropped — advances it, invalidating every
+        plan cached under the previous epoch.
+        """
+        return self._epoch_offset + sum(stats.epoch
+                                        for stats in self._tables.values())
 
     def table(self, name: str) -> Optional[TableStatistics]:
         return self._tables.get(name.lower())
@@ -290,4 +331,5 @@ class StatisticsRegistry:
 
 
 __all__ = ["ColumnStatistics", "TableStatistics", "StatisticsRegistry",
-           "DEFAULT_SELECTIVITY", "EXACT_RANGE_NDV_LIMIT"]
+           "DEFAULT_SELECTIVITY", "EXACT_RANGE_NDV_LIMIT",
+           "EPOCH_MOD_FLOOR", "EPOCH_MOD_FRACTION"]

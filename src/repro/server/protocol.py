@@ -1,0 +1,269 @@
+"""The wire protocol: length-prefixed binary frames over a byte stream.
+
+Every frame is ``[4-byte big-endian length][1-byte frame type][payload]``
+where the length counts the type byte plus the payload.  The payload is one
+value in a small tagged binary encoding closed under the Python values the
+engine produces — including the degradation sentinels ``SUPPRESSED``,
+``REMOVED`` and ``NULL``, which must survive the network round trip exactly
+(a degraded value arriving as the string ``"SUPPRESSED"`` would be a privacy
+*and* a correctness bug).
+
+The protocol is strictly request/reply per session: the client sends one
+request frame and reads frames until a terminal reply (``OK``, ``RESULT``,
+``ROWS`` or ``ERROR``) arrives.  Every reply carries the session's
+``in_txn`` flag so the remote connection can mirror PEP 249's
+``in_transaction`` without extra round trips.
+
+Error replies carry the server-side exception *class name*; the client
+resolves it against :mod:`repro.core.errors`, so a remote
+``CatalogError`` is catchable as ``CatalogError``, ``ProgrammingError``
+or ``DatabaseError`` — exactly like the in-process driver.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+from ..core.errors import OperationalError
+from ..core.values import NULL, REMOVED, SUPPRESSED
+
+#: Protocol version exchanged in the HELLO handshake.
+PROTOCOL_VERSION = 1
+
+#: Frames larger than this are rejected before allocation — a malformed (or
+#: malicious) length prefix must not make the peer allocate gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+# -- frame types (request) --------------------------------------------------------
+
+HELLO = 0x01
+EXECUTE = 0x02
+EXECUTEMANY = 0x03
+FETCH = 0x04
+CLOSE_CURSOR = 0x05
+BEGIN = 0x06
+COMMIT = 0x07
+ROLLBACK = 0x08
+METRICS = 0x09
+GOODBYE = 0x0A
+
+# -- frame types (reply) ----------------------------------------------------------
+
+OK = 0x80
+RESULT = 0x81
+ROWS = 0x82
+ERROR = 0xEE
+
+FRAME_NAMES = {
+    HELLO: "HELLO", EXECUTE: "EXECUTE", EXECUTEMANY: "EXECUTEMANY",
+    FETCH: "FETCH", CLOSE_CURSOR: "CLOSE_CURSOR", BEGIN: "BEGIN",
+    COMMIT: "COMMIT", ROLLBACK: "ROLLBACK", METRICS: "METRICS",
+    GOODBYE: "GOODBYE", OK: "OK", RESULT: "RESULT", ROWS: "ROWS",
+    ERROR: "ERROR",
+}
+
+
+class ProtocolError(OperationalError):
+    """Malformed frame, unknown tag, or protocol sequence violation."""
+
+
+# -- value codec ------------------------------------------------------------------
+
+_F64 = struct.Struct(">d")
+_U32 = struct.Struct(">I")
+
+
+def _encode_into(value: Any, out: list) -> None:
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif value is SUPPRESSED:
+        out.append(b"S")
+    elif value is REMOVED:
+        out.append(b"R")
+    elif value is NULL:
+        out.append(b"Z")
+    elif isinstance(value, int):
+        raw = str(value).encode("ascii")
+        out.append(b"i" + _U32.pack(len(raw)) + raw)
+    elif isinstance(value, float):
+        out.append(b"f" + _F64.pack(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(b"s" + _U32.pack(len(raw)) + raw)
+    elif isinstance(value, bytes):
+        out.append(b"b" + _U32.pack(len(value)) + value)
+    elif isinstance(value, tuple):
+        out.append(b"t" + _U32.pack(len(value)))
+        for element in value:
+            _encode_into(element, out)
+    elif isinstance(value, list):
+        out.append(b"l" + _U32.pack(len(value)))
+        for element in value:
+            _encode_into(element, out)
+    elif isinstance(value, dict):
+        out.append(b"d" + _U32.pack(len(value)))
+        for key, element in value.items():
+            _encode_into(key, out)
+            _encode_into(element, out)
+    else:
+        raise ProtocolError(
+            f"value of type {type(value).__name__!r} cannot cross the wire")
+
+
+def encode_value(value: Any) -> bytes:
+    parts: list = []
+    _encode_into(value, parts)
+    return b"".join(parts)
+
+
+def _decode_at(data: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise ProtocolError("truncated payload")
+    tag = data[offset:offset + 1]
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag == b"T":
+        return True, offset
+    if tag == b"F":
+        return False, offset
+    if tag == b"S":
+        return SUPPRESSED, offset
+    if tag == b"R":
+        return REMOVED, offset
+    if tag == b"Z":
+        return NULL, offset
+    if tag == b"f":
+        if offset + 8 > len(data):
+            raise ProtocolError("truncated float")
+        return _F64.unpack_from(data, offset)[0], offset + 8
+    if tag in (b"i", b"s", b"b"):
+        if offset + 4 > len(data):
+            raise ProtocolError("truncated length")
+        length = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        if offset + length > len(data):
+            raise ProtocolError("truncated value body")
+        raw = data[offset:offset + length]
+        offset += length
+        if tag == b"i":
+            try:
+                return int(raw.decode("ascii")), offset
+            except ValueError as error:
+                raise ProtocolError("malformed integer") from error
+        if tag == b"s":
+            try:
+                return raw.decode("utf-8"), offset
+            except UnicodeDecodeError as error:
+                raise ProtocolError("malformed string") from error
+        return raw, offset
+    if tag in (b"t", b"l"):
+        if offset + 4 > len(data):
+            raise ProtocolError("truncated length")
+        count = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        elements = []
+        for _ in range(count):
+            element, offset = _decode_at(data, offset)
+            elements.append(element)
+        return (tuple(elements) if tag == b"t" else elements), offset
+    if tag == b"d":
+        if offset + 4 > len(data):
+            raise ProtocolError("truncated length")
+        count = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        mapping = {}
+        for _ in range(count):
+            key, offset = _decode_at(data, offset)
+            value, offset = _decode_at(data, offset)
+            mapping[key] = value
+        return mapping, offset
+    raise ProtocolError(f"unknown value tag {tag!r}")
+
+
+def decode_value(data: bytes) -> Any:
+    value, offset = _decode_at(data, 0)
+    if offset != len(data):
+        raise ProtocolError(f"{len(data) - offset} trailing payload byte(s)")
+    return value
+
+
+# -- frame codec ------------------------------------------------------------------
+
+
+def encode_frame(frame_type: int, payload: Any) -> bytes:
+    body = bytes([frame_type]) + encode_value(payload)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte limit")
+    return _U32.pack(len(body)) + body
+
+
+def decode_frame_body(body: bytes) -> Tuple[int, Any]:
+    if not body:
+        raise ProtocolError("empty frame")
+    return body[0], decode_value(body[1:])
+
+
+def parse_frame_length(prefix: bytes) -> int:
+    if len(prefix) != 4:
+        raise ProtocolError("truncated frame length prefix")
+    length = _U32.unpack(prefix)[0]
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte limit")
+    return length
+
+
+# -- purpose serialization ---------------------------------------------------------
+
+
+def encode_purpose(purpose: Any) -> Any:
+    """Wire form of a purpose: ``None``, a name, or an ad-hoc description."""
+    if purpose is None or isinstance(purpose, str):
+        return purpose
+    return {
+        "name": purpose.name,
+        "requirements": [
+            [req.table, req.column, req.level]
+            for req in purpose._requirements.values()
+        ],
+    }
+
+
+def decode_purpose(spec: Any) -> Any:
+    """Rebuild the purpose argument server-side.
+
+    A name stays a name (the engine resolves it against its catalog — and a
+    catalog purpose keeps plan-cache eligibility); an ad-hoc description is
+    rebuilt as a fresh :class:`~repro.core.policy.Purpose`, which the engine
+    correctly treats as non-canonical for plan caching.
+    """
+    if spec is None or isinstance(spec, str):
+        return spec
+    from ..core.policy import AccuracyRequirement, Purpose
+    if not isinstance(spec, dict) or "name" not in spec:
+        raise ProtocolError("malformed purpose specification")
+    purpose = Purpose(spec["name"])
+    for entry in spec.get("requirements", ()):
+        table, column, level = entry
+        purpose.add_requirement(AccuracyRequirement(table=table, column=column,
+                                                    level=level))
+    return purpose
+
+
+__all__ = [
+    "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "ProtocolError",
+    "HELLO", "EXECUTE", "EXECUTEMANY", "FETCH", "CLOSE_CURSOR", "BEGIN",
+    "COMMIT", "ROLLBACK", "METRICS", "GOODBYE", "OK", "RESULT", "ROWS",
+    "ERROR", "FRAME_NAMES",
+    "encode_value", "decode_value", "encode_frame", "decode_frame_body",
+    "parse_frame_length", "encode_purpose", "decode_purpose",
+]

@@ -1,0 +1,271 @@
+"""Sessions: per-connection transaction context and streaming cursors.
+
+A :class:`Session` is the server-side twin of the PEP 249
+:class:`~repro.api.connection.Connection`: it owns at most one open engine
+transaction (begun lazily by the first statement, ended by COMMIT/ROLLBACK
+frames) and a set of numbered cursors whose result sets stream out of the
+engine's operator pipeline in fetch-N batches.
+
+Every method that touches the engine is **synchronous** and must run on the
+server's single engine-executor thread — the engine is not thread-safe, and
+funnelling all sessions through one executor is what multiplexes the
+lock-based single-writer engine safely under the running degradation daemon
+(a statement and a degradation wave interleave exactly as two engine calls
+would in-process; conflicts surface as ``TransactionAborted`` on the wire).
+
+Commit/rollback *settle* open streams first — remaining rows are
+materialized into the cursor's buffer while the transaction still holds its
+read locks, mirroring the in-process driver's ``_settle_streams`` — so a
+partially fetched cursor keeps serving a consistent snapshot after its
+transaction is gone.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.errors import NotSupportedError, ProgrammingError
+from ..engine.database import InstantDB
+from ..query import ast_nodes as ast
+from ..query.executor import QueryResult
+from ..query.operators import StreamingResult
+from ..txn.transaction import Transaction, TransactionState
+from .protocol import decode_purpose
+
+#: Rows pushed inline with an EXECUTE reply (saves the first FETCH round
+#: trip; small result sets complete in a single exchange).
+DEFAULT_PREFETCH = 64
+
+
+class ServerCursor:
+    """One result set: a live stream plus a buffer of settled rows."""
+
+    def __init__(self, cursor_id: int, columns: List[str],
+                 stream: Optional[Iterator[Tuple[Any, ...]]] = None,
+                 rows: Optional[List[Tuple[Any, ...]]] = None) -> None:
+        self.cursor_id = cursor_id
+        self.columns = columns
+        self._stream = stream
+        self._buffer: List[Tuple[Any, ...]] = rows or []
+        self._position = 0
+
+    def take(self, n: int) -> Tuple[List[Tuple[Any, ...]], bool]:
+        """Up to ``n`` rows plus a this-was-the-end flag."""
+        rows: List[Tuple[Any, ...]] = []
+        buffered = self._buffer[self._position:self._position + n]
+        rows.extend(buffered)
+        self._position += len(buffered)
+        while len(rows) < n and self._stream is not None:
+            row = next(self._stream, None)
+            if row is None:
+                self._stream = None
+                break
+            rows.append(row)
+        return rows, self.exhausted
+
+    @property
+    def exhausted(self) -> bool:
+        return self._stream is None and self._position >= len(self._buffer)
+
+    def materialize(self) -> None:
+        """Drain the live stream into the buffer (end-of-transaction)."""
+        if self._stream is None:
+            return
+        self._buffer = self._buffer[self._position:] + list(self._stream)
+        self._position = 0
+        self._stream = None
+
+    def close(self) -> None:
+        self._stream = None
+        self._buffer = []
+        self._position = 0
+
+
+class Session:
+    """Server-side connection state; engine calls run on the engine executor."""
+
+    def __init__(self, session_id: int, engine: InstantDB,
+                 peer: str = "?") -> None:
+        self.session_id = session_id
+        self.engine = engine
+        self.peer = peer
+        self.txn: Optional[Transaction] = None
+        self.cursors: Dict[int, ServerCursor] = {}
+        self._next_cursor = 1
+        self.last_activity = time.monotonic()
+        self.statements = 0
+        self.closed = False
+
+    # -- transaction context ---------------------------------------------------
+
+    def _prune_dead_txn(self) -> None:
+        # The engine aborts the session's transaction itself on lock
+        # conflicts; the next statement must start a fresh one.
+        if self.txn is not None and self.txn.state is not TransactionState.ACTIVE:
+            self.txn = None
+
+    def _transaction(self) -> Transaction:
+        self._prune_dead_txn()
+        if self.txn is None:
+            self.txn = self.engine.begin()
+        return self.txn
+
+    @property
+    def in_txn(self) -> bool:
+        self._prune_dead_txn()
+        return self.txn is not None
+
+    def _settle_streams(self) -> None:
+        for cursor in self.cursors.values():
+            cursor.materialize()
+
+    # -- statement execution ---------------------------------------------------
+
+    def execute(self, sql: str, params: Optional[List[Any]],
+                purpose_spec: Any, prefetch: int = DEFAULT_PREFETCH
+                ) -> Dict[str, Any]:
+        """Run one statement; returns the RESULT reply payload."""
+        self.statements += 1
+        purpose = decode_purpose(purpose_spec)
+        result = self.engine.execute(
+            sql, purpose=purpose, txn=self._transaction(),
+            params=tuple(params) if params is not None else None, stream=True,
+        )
+        payload: Dict[str, Any] = {"rowcount": -1}
+        if isinstance(result, StreamingResult):
+            payload.update(self._open_cursor(result.columns,
+                                             stream=iter(result),
+                                             prefetch=prefetch))
+        elif isinstance(result, QueryResult):
+            payload.update(self._open_cursor(result.columns,
+                                             rows=list(result.rows),
+                                             prefetch=prefetch))
+        elif isinstance(result, int):
+            payload["rowcount"] = result
+        return payload
+
+    def executemany(self, sql: str,
+                    seq_of_params: List[List[Any]]) -> Dict[str, Any]:
+        self.statements += 1
+        prepared = self.engine.prepare(sql)
+        if isinstance(prepared.statement, (ast.Select, ast.Explain)):
+            raise NotSupportedError("executemany() cannot produce result "
+                                    "sets; use execute() for queries")
+        total = self.engine.executemany(
+            sql, [tuple(params) for params in seq_of_params],
+            txn=self._transaction())
+        return {"rowcount": total}
+
+    def _open_cursor(self, columns: List[str],
+                     stream: Optional[Iterator[Tuple[Any, ...]]] = None,
+                     rows: Optional[List[Tuple[Any, ...]]] = None,
+                     prefetch: int = DEFAULT_PREFETCH) -> Dict[str, Any]:
+        cursor_id = self._next_cursor
+        self._next_cursor += 1
+        cursor = ServerCursor(cursor_id, columns, stream=stream, rows=rows)
+        first_rows, done = cursor.take(prefetch) if prefetch > 0 else ([], False)
+        if done:
+            cursor.close()
+        else:
+            self.cursors[cursor_id] = cursor
+        return {"cursor": cursor_id, "columns": list(columns),
+                "rows": first_rows, "done": done}
+
+    # -- cursor traversal ------------------------------------------------------
+
+    def fetch(self, cursor_id: int, n: int) -> Dict[str, Any]:
+        cursor = self.cursors.get(cursor_id)
+        if cursor is None:
+            raise ProgrammingError(f"unknown (or exhausted) cursor {cursor_id}")
+        rows, done = cursor.take(max(0, n))
+        if done:
+            self.cursors.pop(cursor_id, None)
+            cursor.close()
+        return {"rows": rows, "done": done}
+
+    def close_cursor(self, cursor_id: int) -> None:
+        cursor = self.cursors.pop(cursor_id, None)
+        if cursor is not None:
+            cursor.close()
+
+    # -- transaction protocol --------------------------------------------------
+
+    def begin(self) -> None:
+        self._transaction()
+
+    def commit(self) -> None:
+        self._prune_dead_txn()
+        if self.txn is not None:
+            self._settle_streams()
+            self.engine.commit(self.txn)
+            self.txn = None
+
+    def rollback(self) -> None:
+        self._prune_dead_txn()
+        if self.txn is not None:
+            self._settle_streams()
+            self.engine.rollback(self.txn)
+            self.txn = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def touch(self) -> None:
+        self.last_activity = time.monotonic()
+
+    def idle_for(self, now: Optional[float] = None) -> float:
+        return (now if now is not None else time.monotonic()) - self.last_activity
+
+    def close(self) -> bool:
+        """Tear down the session; returns True if a transaction was rolled
+        back (a mid-statement disconnect discards uncommitted work)."""
+        if self.closed:
+            return False
+        self.closed = True
+        had_txn = False
+        self._prune_dead_txn()
+        if self.txn is not None:
+            had_txn = True
+            self.engine.rollback(self.txn)
+            self.txn = None
+        for cursor in self.cursors.values():
+            cursor.close()
+        self.cursors.clear()
+        return had_txn
+
+
+class SessionManager:
+    """Admission control plus the id → :class:`Session` registry."""
+
+    def __init__(self, engine: InstantDB, max_sessions: int = 64,
+                 idle_timeout: Optional[float] = None) -> None:
+        self.engine = engine
+        self.max_sessions = max_sessions
+        self.idle_timeout = idle_timeout
+        self.sessions: Dict[int, Session] = {}
+        self._next_id = 1
+
+    def open(self, peer: str = "?") -> Optional[Session]:
+        """A new session, or ``None`` when the server is at capacity."""
+        if len(self.sessions) >= self.max_sessions:
+            return None
+        session = Session(self._next_id, self.engine, peer=peer)
+        self._next_id += 1
+        self.sessions[session.session_id] = session
+        return session
+
+    def close(self, session: Session) -> bool:
+        self.sessions.pop(session.session_id, None)
+        return session.close()
+
+    def idle_sessions(self, now: Optional[float] = None) -> List[Session]:
+        if self.idle_timeout is None:
+            return []
+        return [session for session in self.sessions.values()
+                if session.idle_for(now) > self.idle_timeout]
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+
+__all__ = ["Session", "SessionManager", "ServerCursor", "DEFAULT_PREFETCH"]

@@ -1,0 +1,79 @@
+"""Transport parametrization for the PEP 249 suite.
+
+By default the tests exercise the in-process driver (``repro.connect``).
+With ``REPRO_TRANSPORT=remote`` in the environment, every ``connect()`` in
+these tests instead spins up an in-process wire server
+(:class:`repro.server.ServerThread`) around the engine and returns the
+remote driver's connection — the whole DB-API suite then runs over the
+socket protocol, proving the two drivers expose the same surface.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+REMOTE = os.environ.get("REPRO_TRANSPORT") == "remote"
+
+
+def _make_remote_connect(servers):
+    from repro import InstantDB
+    from repro.client import connect as client_connect
+    from repro.core.errors import InterfaceError
+    from repro.server import ServerThread
+
+    def remote_connect(data_dir=None, *, engine=None, purpose=None,
+                       **engine_kwargs):
+        # mirror the local connect() signature and its engine=/kwargs guard
+        if engine is not None and (data_dir is not None or engine_kwargs):
+            raise InterfaceError("pass either engine= or engine constructor "
+                                 "arguments, not both")
+        owns_engine = engine is None
+        if engine is None:
+            engine = InstantDB(data_dir=data_dir, **engine_kwargs)
+        server = ServerThread(engine).start()
+        servers.append(server)
+        host, port = server.address
+        connection = client_connect(host, port, purpose=purpose)
+        connection.engine = engine
+        connection.server = server
+
+        original_close = connection.close
+
+        def close():
+            original_close()
+            server.stop()
+            if owns_engine:
+                engine.close()
+
+        connection.close = close
+        return connection
+
+    return remote_connect
+
+
+@pytest.fixture(autouse=True)
+def _transport(request, monkeypatch):
+    if not REMOTE:
+        yield
+        return
+    import repro
+    from repro.client import RemoteConnection, RemoteCursor
+
+    servers = []
+    remote_connect = _make_remote_connect(servers)
+    monkeypatch.setattr(repro, "connect", remote_connect)
+    module = request.module
+    if hasattr(module, "connect"):
+        monkeypatch.setattr(module, "connect", remote_connect)
+    if hasattr(module, "Connection"):
+        monkeypatch.setattr(module, "Connection", RemoteConnection)
+    if hasattr(module, "Cursor"):
+        monkeypatch.setattr(module, "Cursor", RemoteCursor)
+    yield
+    for server in servers:
+        try:
+            server.stop(drain=False)
+        except Exception:
+            pass

@@ -1,0 +1,177 @@
+"""Plan-cache keys: statistics epoch and parameter shape.
+
+PR-6's two carry-over fixes from the read-path overhaul:
+
+* the prepared-plan cache key includes a **statistics epoch**, so a plan
+  costed before a large stats shift (mass update, degradation wave) is
+  re-planned instead of reused under economics that no longer hold;
+* parameterized SELECTs whose placeholders all sit in the WHERE clause cache
+  a **template plan per parameter shape** and bind values per execution,
+  instead of re-planning on every execute.
+"""
+
+import pytest
+
+from repro import InstantDB
+from repro.query.prepared import PARAM_PLAN_CACHE_SIZE
+from repro.query.statistics import EPOCH_MOD_FLOOR
+
+
+@pytest.fixture
+def db():
+    engine = InstantDB()
+    engine.execute("CREATE TABLE t (id INT PRIMARY KEY, grp TEXT, val INT)")
+    engine.executemany("INSERT INTO t VALUES (?, ?, ?)",
+                       [(i, f"g{i % 5}", i) for i in range(1, 201)])
+    engine.execute("CREATE INDEX idx_val ON t (val) USING btree")
+    return engine
+
+
+class TestStatisticsEpoch:
+    def test_epoch_advances_on_bulk_modification(self, db):
+        before = db.statistics.epoch()
+        db.executemany("INSERT INTO t VALUES (?, ?, ?)",
+                       [(i, "gx", 1) for i in range(1000, 1000 + EPOCH_MOD_FLOOR)])
+        assert db.statistics.epoch() > before
+
+    def test_trickle_writes_keep_the_epoch_stable(self, db):
+        before = db.statistics.epoch()
+        db.execute("INSERT INTO t VALUES (?, ?, ?)", params=(999, "gx", 1))
+        assert db.statistics.epoch() == before
+
+    def test_epoch_is_monotonic_across_table_drop(self, db):
+        before = db.statistics.epoch()
+        db.execute("DROP TABLE t")
+        assert db.statistics.epoch() > before
+
+    def test_stats_shift_retires_cached_plan(self, db):
+        """The PR-5 bug: a mass update collapses NDV, the cached index plan
+        must not survive — the same predicate now matches the whole table."""
+        sql = "SELECT id FROM t WHERE val = 1"
+        prepared = db.prepare(sql)
+        db.execute(sql)
+        db.execute(sql)
+        cached = prepared.cached_plan(None, db.catalog.version,
+                                      db.statistics.epoch())
+        assert cached is not None
+        assert cached.base.access.kind == "index_eq"
+        db.execute("UPDATE t SET val = 1")            # NDV 200 -> 1
+        assert prepared.cached_plan(None, db.catalog.version,
+                                    db.statistics.epoch()) is None
+        assert db.execute(sql).rows == [(i,) for i in range(1, 201)]
+        replanned = prepared.cached_plan(None, db.catalog.version,
+                                         db.statistics.epoch())
+        assert replanned is not None
+        assert replanned.base.access.kind == "seq"
+
+    def test_recovery_reset_bumps_the_epoch(self, db):
+        before = db.statistics.epoch()
+        db.statistics.table("t").reset()
+        assert db.statistics.epoch() > before
+
+
+class TestParameterShapePlans:
+    def test_repeated_parameterized_select_hits_the_plan_cache(self, db):
+        sql = "SELECT id FROM t WHERE val = ?"
+        misses_before = db.statements.stats.plan_misses
+        hits_before = db.statements.stats.plan_hits
+        for value in (3, 7, 11, 3, 42):
+            assert db.execute(sql, params=(value,)).rows == [(value,)]
+        assert db.statements.stats.plan_misses == misses_before + 1
+        assert db.statements.stats.plan_hits == hits_before + 4
+
+    def test_bound_values_reach_the_access_path(self, db):
+        # the template probes the index with each execution's own value —
+        # a stale embedded literal would return the wrong row
+        sql = "SELECT id FROM t WHERE val = ?"
+        assert db.execute(sql, params=(5,)).rows == [(5,)]
+        assert db.execute(sql, params=(6,)).rows == [(6,)]
+        assert db.execute(sql, params=(10_000,)).rows == []
+
+    def test_range_and_residual_bind_per_execution(self, db):
+        sql = ("SELECT id FROM t WHERE val BETWEEN ? AND ? AND grp = ? "
+               "ORDER BY id")
+        assert db.execute(sql, params=(10, 20, "g0")).rows == \
+            [(10,), (15,), (20,)]
+        assert db.execute(sql, params=(10, 20, "g1")).rows == \
+            [(11,), (16,)]
+
+    def test_shapes_are_cached_separately(self, db):
+        sql = "SELECT id FROM t WHERE val = ?"
+        prepared = db.prepare(sql)
+        db.execute(sql, params=(5,))
+        db.execute(sql, params=(5.0,))
+        version, epoch = db.catalog.version, db.statistics.epoch()
+        assert prepared.cached_param_plan(None, version, epoch,
+                                          ("int",)) is not None
+        assert prepared.cached_param_plan(None, version, epoch,
+                                          ("float",)) is not None
+
+    def test_null_parameter_is_not_template_planned(self, db):
+        sql = "SELECT id FROM t WHERE val = ?"
+        prepared = db.prepare(sql)
+        # NULL predicate semantics (always false) must not ride an index probe
+        assert db.execute(sql, params=(None,)).rows == []
+        assert prepared.cached_param_plan(
+            None, db.catalog.version, db.statistics.epoch(),
+            ("NoneType",)) is None
+        # and a later non-NULL execution still answers correctly
+        assert db.execute(sql, params=(9,)).rows == [(9,)]
+
+    def test_non_where_placeholders_are_not_eligible(self, db):
+        insert = db.prepare("INSERT INTO t VALUES (?, ?, ?)")
+        assert not insert.placeholders_confined_to_where
+        no_where = db.prepare("SELECT id FROM t")
+        assert not no_where.placeholders_confined_to_where
+
+    def test_stats_shift_retires_template_plans(self, db):
+        sql = "SELECT id FROM t WHERE val = ?"
+        prepared = db.prepare(sql)
+        db.execute(sql, params=(1,))
+        old = prepared.cached_param_plan(None, db.catalog.version,
+                                         db.statistics.epoch(), ("int",))
+        assert old is not None and old.base.access.kind == "index_eq"
+        db.execute("UPDATE t SET val = 1")            # NDV 200 -> 1
+        rows = db.execute(sql, params=(1,)).rows
+        assert rows == [(i,) for i in range(1, 201)]
+        fresh = prepared.cached_param_plan(None, db.catalog.version,
+                                           db.statistics.epoch(), ("int",))
+        assert fresh is not None
+        assert fresh.base.access.kind == "seq"
+
+    def test_catalog_change_retires_template_plans(self, db):
+        sql = "SELECT id FROM t WHERE grp = ?"
+        prepared = db.prepare(sql)
+        db.execute(sql, params=("g1",))
+        seq = prepared.cached_param_plan(None, db.catalog.version,
+                                         db.statistics.epoch(), ("str",))
+        assert seq is not None and seq.base.access.kind == "seq"
+        db.execute("CREATE INDEX idx_grp ON t (grp) USING hash")
+        rows = db.execute(sql, params=("g1",)).rows
+        assert len(rows) == 40
+        indexed = prepared.cached_param_plan(None, db.catalog.version,
+                                             db.statistics.epoch(), ("str",))
+        assert indexed is not None
+        assert indexed.base.access.kind == "index_eq"
+
+    def test_template_cache_is_bounded(self, db):
+        prepared = db.prepare("SELECT id FROM t WHERE val = ?")
+        plan = db.planner.plan_physical(prepared.statement, None)
+        for index in range(PARAM_PLAN_CACHE_SIZE + 4):
+            prepared.store_param_plan(None, db.catalog.version, 0,
+                                      (f"shape{index}",), plan)
+        assert len(prepared._param_plans) <= PARAM_PLAN_CACHE_SIZE
+
+    def test_interpreted_mode_matches_compiled(self):
+        compiled = InstantDB()
+        interpreted = InstantDB(read_path_optimizations=False)
+        for engine in (compiled, interpreted):
+            engine.execute("CREATE TABLE t (id INT PRIMARY KEY, val INT)")
+            engine.executemany("INSERT INTO t VALUES (?, ?)",
+                               [(i, i % 13) for i in range(1, 151)])
+            engine.execute("CREATE INDEX idx_val ON t (val) USING btree")
+        sql = "SELECT id FROM t WHERE val = ? AND id > ? ORDER BY id"
+        for params in [(3, 0), (3, 100), (12, 50)]:
+            left = compiled.execute(sql, params=params).rows
+            right = interpreted.execute(sql, params=params).rows
+            assert left == right

@@ -1,0 +1,1 @@
+"""Tests of the network serving subsystem (wire protocol, sessions, server)."""

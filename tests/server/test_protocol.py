@@ -1,0 +1,115 @@
+"""Wire codec unit tests: value round trips, frame limits, malformed input."""
+
+import pytest
+
+from repro.core.errors import OperationalError
+from repro.core.policy import AccuracyRequirement, Purpose
+from repro.core.values import NULL, REMOVED, SUPPRESSED
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    EXECUTE,
+    ProtocolError,
+    decode_frame_body,
+    decode_purpose,
+    decode_value,
+    encode_frame,
+    encode_purpose,
+    encode_value,
+    parse_frame_length,
+)
+
+
+def roundtrip(value):
+    return decode_value(encode_value(value))
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -17, 10**30, 3.5, -0.0, float("inf"),
+        "", "héllo", "名前; DROP TABLE t; --", b"", b"\x00\xffbytes",
+        (), (1, "a", None), [1, [2, [3]]], {"k": (1, 2), 3: "v"},
+    ])
+    def test_plain_values_round_trip(self, value):
+        assert roundtrip(value) == value
+
+    def test_bool_is_not_flattened_to_int(self):
+        assert roundtrip(True) is True
+        assert roundtrip(0) == 0 and roundtrip(0) is not False
+
+    def test_degradation_sentinels_round_trip_by_identity(self):
+        # a degraded value arriving as the *string* "SUPPRESSED" would be
+        # both a privacy and a correctness bug — identity must survive
+        assert roundtrip(SUPPRESSED) is SUPPRESSED
+        assert roundtrip(REMOVED) is REMOVED
+        assert roundtrip(NULL) is NULL
+        row = (1, SUPPRESSED, "Paris", NULL)
+        assert roundtrip(row) == row
+        assert roundtrip(row)[1] is SUPPRESSED
+
+    def test_unencodable_type_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_value(object())
+
+    @pytest.mark.parametrize("data", [
+        b"", b"x", b"i\x00\x00\x00\x02a",       # unknown tag / malformed int
+        b"f\x00\x00",                             # truncated float
+        b"s\x00\x00\x00\x05ab",                  # truncated string body
+        b"t\x00\x00\x00\x02N",                   # truncated tuple
+        b"NN",                                    # trailing bytes
+    ])
+    def test_malformed_payloads_raise_protocol_error(self, data):
+        with pytest.raises(ProtocolError):
+            decode_value(data)
+
+    def test_protocol_error_is_operational(self):
+        # malformed frames surface through the PEP 249 hierarchy
+        assert issubclass(ProtocolError, OperationalError)
+
+
+class TestFrameCodec:
+    def test_frame_round_trip(self):
+        frame = encode_frame(EXECUTE, {"sql": "SELECT 1", "params": []})
+        length = parse_frame_length(frame[:4])
+        assert length == len(frame) - 4
+        frame_type, payload = decode_frame_body(frame[4:])
+        assert frame_type == EXECUTE
+        assert payload == {"sql": "SELECT 1", "params": []}
+
+    def test_zero_and_oversize_lengths_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_frame_length(b"\x00\x00\x00\x00")
+        with pytest.raises(ProtocolError):
+            parse_frame_length((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(ProtocolError):
+            parse_frame_length(b"\x00\x00")      # truncated prefix
+
+    def test_oversize_frame_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(EXECUTE, "x" * (MAX_FRAME_BYTES + 1))
+
+    def test_empty_frame_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame_body(b"")
+
+
+class TestPurposeCodec:
+    def test_none_and_names_pass_through(self):
+        assert encode_purpose(None) is None
+        assert decode_purpose(None) is None
+        assert encode_purpose("stats") == "stats"
+        assert decode_purpose("stats") == "stats"
+
+    def test_adhoc_purpose_round_trips(self):
+        purpose = Purpose("strict")
+        purpose.add_requirement(AccuracyRequirement(
+            table="person", column="location", level=0))
+        spec = roundtrip(encode_purpose(purpose))
+        rebuilt = decode_purpose(spec)
+        assert isinstance(rebuilt, Purpose)
+        assert rebuilt.name == "strict"
+        requirement = rebuilt._requirements[("person", "location")]
+        assert requirement.level == 0
+
+    def test_malformed_purpose_spec_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_purpose({"requirements": []})
