@@ -35,6 +35,12 @@ PurposeSpec = Union[None, str, Purpose]
 #: Rows pulled per FETCH round trip by ``fetchall`` and iteration.
 FETCH_BATCH = 1024
 
+#: The terminal reply frames a well-behaved server may answer with.  A reply
+#: outside this set means the stream is out of sync (or the peer is not an
+#: InstantDB server) — the connection is dropped rather than misread.
+_REPLY_FRAMES = frozenset({protocol.OK, protocol.RESULT, protocol.ROWS,
+                           protocol.ERROR})
+
 #: PEP 249 module globals (mirrors :mod:`repro.api.connection`).
 apilevel = "2.0"
 threadsafety = 1
@@ -135,6 +141,12 @@ class RemoteConnection:
         prefix = self._read_exact(4)
         length = protocol.parse_frame_length(prefix)
         reply_type, reply = protocol.decode_frame_body(self._read_exact(length))
+        if reply_type not in _REPLY_FRAMES:
+            name = protocol.FRAME_NAMES.get(reply_type, hex(reply_type))
+            self._drop()
+            raise OperationalError(
+                f"server sent unexpected {name} frame where a reply was "
+                "expected; closing the out-of-sync connection")
         if isinstance(reply, dict) and "in_txn" in reply:
             self._in_txn = bool(reply["in_txn"])
         if reply_type == protocol.ERROR:
@@ -200,7 +212,7 @@ class RemoteConnection:
                 if self._in_txn:
                     self._request(protocol.ROLLBACK, {})
                 self._request(protocol.GOODBYE, {})
-            except Exception:
+            except Exception:  # reprolint: disable=no-swallowed-abort -- best-effort goodbye; the socket is dropped either way
                 pass
             self._drop()
 
@@ -265,7 +277,7 @@ class RemoteCursor:
             try:
                 self.connection._request(protocol.CLOSE_CURSOR,
                                          {"cursor": self._cursor_id})
-            except Exception:
+            except Exception:  # reprolint: disable=no-swallowed-abort -- best-effort release; server reaps the cursor with the session
                 pass
         self._cursor_id = None
         self._done = True

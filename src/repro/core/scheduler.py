@@ -586,6 +586,35 @@ class DegradationScheduler:
             if on_complete is not None:
                 on_complete(step.record_id)
 
+    def predict_complete(self, steps: Sequence[DegradationStep]) -> List[Any]:
+        """Record ids that reach their final tuple state once ``steps`` apply.
+
+        Pure prediction — the schedule is not mutated.  A batch applier uses
+        this to fold the resulting final removals into the same system
+        transaction as the batch's ``DEGRADE`` records; the completion
+        callback that runs after the drain then finds the rows already gone
+        and no-ops.
+        """
+        overlay: Dict[Any, Dict[str, int]] = {}
+        for step in steps:
+            registration = self._registrations.get(step.record_id)
+            if registration is None:
+                continue
+            states = overlay.get(step.record_id)
+            if states is None:
+                states = dict(registration.current_states)
+                overlay[step.record_id] = states
+            if states.get(step.attribute) != step.from_state:
+                continue  # stale: the drain skips it too
+            states[step.attribute] = step.to_state
+        completed: List[Any] = []
+        for record_id, states in overlay.items():
+            tuple_lcp = self._registrations[record_id].tuple_lcp
+            if all(states[name] == lcp.num_states - 1
+                   for name, lcp in tuple_lcp.attributes.items()):
+                completed.append(record_id)
+        return completed
+
     def run_due(self, now: float, applier: StepApplier,
                 on_complete: Optional[CompletionCallback] = None) -> List[DegradationStep]:
         """Apply every due step through ``applier`` and schedule follow-ups.

@@ -1,0 +1,186 @@
+"""reprolint: the repo-specific static analyzer.
+
+Usage::
+
+    python -m repro.devtools.lint src/ [--format=human|json] [--rules=a,b]
+
+Exit status is 0 when no findings survive suppression, 1 otherwise (2 for
+usage errors).  Suppress a finding on its own line with::
+
+    risky_call()  # reprolint: disable=rule-name
+    other_call()  # reprolint: disable=rule-a,rule-b  -- why it is safe
+    anything()    # reprolint: disable=all
+
+Rules live in :mod:`repro.devtools.rules` (single-file) and
+:mod:`repro.devtools.project_rules` (cross-file); see ``docs/invariants.md``
+for the invariants they encode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .findings import Finding
+from .project_rules import PROJECT_RULES
+from .rules import PER_FILE_RULES
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_\-]+"
+                          r"(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+
+
+class LintFile:
+    """One parsed source file plus its per-line suppression table."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.suppressions = parse_suppressions(source)
+
+    def suppresses(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line)
+        return bool(rules) and ("all" in rules or finding.rule in rules)
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            tokens = {token.strip() for token in match.group(1).split(",")}
+            table[lineno] = {token for token in tokens if token}
+    return table
+
+
+def all_rules() -> Dict[str, object]:
+    """Rule name -> instance, per-file and project rules together."""
+    rules: Dict[str, object] = {}
+    for rule_cls in (*PER_FILE_RULES, *PROJECT_RULES):
+        rule = rule_cls()
+        rules[rule.name] = rule
+    return rules
+
+
+def collect_paths(paths: Iterable[str]) -> List[Path]:
+    """Expand directories to their ``*.py`` files, keep files as given."""
+    collected: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            collected.extend(sorted(path.rglob("*.py")))
+        else:
+            collected.append(path)
+    return collected
+
+
+def run(paths: Iterable[str],
+        rule_names: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint ``paths`` (files or directories); returns surviving findings."""
+    rules = all_rules()
+    if rule_names is not None:
+        unknown = sorted(set(rule_names) - set(rules))
+        if unknown:
+            raise ValueError(f"unknown rule(s): {', '.join(unknown)}; "
+                             f"known: {', '.join(sorted(rules))}")
+        rules = {name: rule for name, rule in rules.items()
+                 if name in set(rule_names)}
+    files: List[LintFile] = []
+    findings: List[Finding] = []
+    for path in collect_paths(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            findings.append(Finding(rule="parse-error", path=path.as_posix(),
+                                    line=1, col=1,
+                                    message=f"cannot read file: {error}"))
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            findings.append(Finding(rule="parse-error", path=path.as_posix(),
+                                    line=error.lineno or 1,
+                                    col=(error.offset or 1),
+                                    message=f"syntax error: {error.msg}"))
+            continue
+        files.append(LintFile(path.as_posix(), source, tree))
+    by_path = {entry.path: entry for entry in files}
+    for rule in rules.values():
+        if hasattr(rule, "check_project"):
+            findings.extend(rule.check_project(files))
+        else:
+            for entry in files:
+                findings.extend(rule.check(entry.path, entry.tree,
+                                           entry.source))
+    surviving = []
+    for finding in findings:
+        entry = by_path.get(finding.path)
+        if entry is not None and entry.suppresses(finding):
+            continue
+        surviving.append(finding)
+    surviving.sort(key=Finding.sort_key)
+    return surviving
+
+
+def render_json(findings: List[Finding], paths: Sequence[str],
+                rules: Iterable[str]) -> str:
+    return json.dumps({
+        "version": 1,
+        "tool": "reprolint",
+        "paths": list(paths),
+        "rules": sorted(rules),
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }, indent=2)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="reprolint: check the engine's documented invariants "
+                    "(see docs/invariants.md)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", help="output format")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated subset of rules to run")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the known rules and exit")
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for name in sorted(rules):
+            print(f"{name}: {rules[name].description}")
+        return 0
+
+    rule_names = None
+    if args.rules:
+        rule_names = [token.strip() for token in args.rules.split(",")
+                      if token.strip()]
+    try:
+        findings = run(args.paths, rule_names)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    selected = rule_names if rule_names is not None else list(rules)
+    if args.format == "json":
+        print(render_json(findings, args.paths, selected))
+    else:
+        for finding in findings:
+            print(finding.format())
+        summary = (f"reprolint: {len(findings)} finding(s)" if findings
+                   else "reprolint: clean")
+        print(summary)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

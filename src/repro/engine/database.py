@@ -51,6 +51,7 @@ from ..core.policy import AccuracyRequirement, Purpose, TablePolicy
 from ..core.scheduler import DegradationScheduler, DegradationStep
 from ..core.schema import TableSchema
 from ..core.values import SUPPRESSED
+from ..devtools import invariants
 from ..index.gt_index import GTIndex
 from ..query import ast_nodes as ast
 from ..query.catalog import Catalog, IndexInfo
@@ -267,6 +268,7 @@ class InstantDB:
 
     def advance_time(self, seconds: float = 0.0, **units: float) -> float:
         """Advance the simulated clock; the degradation daemon runs automatically."""
+        invariants.assert_engine_thread(self)
         if not isinstance(self.clock, SimulatedClock):
             raise ConfigurationError("advance_time requires a simulated clock")
         return self.clock.advance(seconds, **units)
@@ -296,12 +298,15 @@ class InstantDB:
 
     def begin(self) -> Transaction:
         """Start an explicit user transaction."""
+        invariants.assert_engine_thread(self)
         return self.transactions.begin(now=self.clock.now())
 
     def commit(self, txn: Transaction) -> None:
+        invariants.assert_engine_thread(self)
         self.transactions.commit(txn, now=self.clock.now())
 
     def rollback(self, txn: Transaction) -> None:
+        invariants.assert_engine_thread(self)
         self.transactions.abort(txn, now=self.clock.now())
 
     def _locked(self, txn: Transaction, table: str, exclusive: bool) -> None:
@@ -358,6 +363,7 @@ class InstantDB:
         durable WAL flush instead of N — the batch-insert fast path.  Returns
         the total number of affected rows.
         """
+        invariants.assert_engine_thread(self)
         prepared = self.prepare(sql)
         now = self.clock.now()
         own_txn = txn is None
@@ -393,6 +399,7 @@ class InstantDB:
                           prepared: Optional[PreparedStatement] = None,
                           stream: bool = False,
                           params: Optional[Sequence[Any]] = None) -> Any:
+        invariants.assert_engine_thread(self)
         self.stats.statements_executed += 1
         # Statements arriving outside the prepare/bind path (execute_script,
         # direct calls) must not smuggle unbound placeholders into storage.
@@ -958,6 +965,30 @@ class InstantDB:
                     for outcome in moves:
                         index_info.index.update(outcome.old_value,
                                                 outcome.new_value, outcome.row_key)
+            # Final removals ride the same system transaction: steps driving
+            # a remove_on_final tuple into full suppression delete the row
+            # here — under the batch's table lock, with REMOVE records in the
+            # batch's commit flush — instead of in a separate post-drain pass
+            # (the completion callback then finds the rows gone and no-ops).
+            if info.policy is not None and info.policy.remove_on_final:
+                removable: List[int] = []
+                for record_id in self.scheduler.predict_complete(live):
+                    row_key = record_id[1]
+                    tuple_lcp = self._tuple_lcps.get((table, row_key))
+                    if tuple_lcp is not None and not all(
+                            lcp.fully_suppresses
+                            for lcp in tuple_lcp.attributes.values()):
+                        continue
+                    if not store.exists(row_key):
+                        continue
+                    stored = store.read(row_key)
+                    self._index_delete(info, stored)
+                    self.statistics.on_remove(table, stored.values)
+                    self._tuple_lcps.pop((table, row_key), None)
+                    removable.append(row_key)
+                if removable:
+                    store.remove_many(removable, now=now, txn_id=txn.txn_id)
+                    self.stats.rows_removed_by_policy += len(removable)
             # Schedule records for the whole batch (chunked under the record
             # codec's field cap), inside the same system transaction as its
             # DEGRADE records: the single commit flush makes data and
@@ -1082,6 +1113,7 @@ class InstantDB:
     def close(self) -> None:
         """Clean shutdown: checkpoint (including the schedule snapshot),
         flush the WAL and release the pager."""
+        invariants.assert_engine_thread(self)
         self.checkpoint()
         self.wal.close()
         self.pager.close()
@@ -1241,8 +1273,8 @@ class InstantDB:
             try:
                 resolved[attribute] = self.registry.policy(name)
                 continue
-            except Exception:
-                pass
+            except CatalogError:
+                pass  # not a registered policy — try per-tuple overrides
             found = None
             for override in info.policy.per_tuple_policies.values():
                 candidate = override.get(attribute)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Set, Tuple
 
-from ..core.errors import IndexError_
+from ..core.errors import GeneralizationError, IndexError_
 from ..core.generalization import GeneralizationScheme
 from ..core.values import sort_key
 from .base import Index
@@ -209,7 +209,7 @@ class GTIndex(Index):
                     generalized = self.scheme.generalize(
                         finer_value, level, from_level=finer_level
                     )
-                except Exception:  # unknown value: cannot generalize, skip
+                except GeneralizationError:  # unknown value: cannot generalize, skip
                     continue
                 if _hashable(generalized) == surrogate:
                     self.stats.entries_scanned += len(bucket)

@@ -32,8 +32,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-async def serve(args: argparse.Namespace) -> None:
-    engine = InstantDB(args.data_dir) if args.data_dir else InstantDB()
+async def serve(engine: InstantDB, args: argparse.Namespace) -> None:
     server = InstantDBServer(
         engine, args.host, args.port, max_sessions=args.max_sessions,
         idle_timeout=args.idle_timeout, queue_size=args.queue_size,
@@ -53,7 +52,10 @@ async def serve(args: argparse.Namespace) -> None:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    asyncio.run(serve(args))
+    # Built before the event loop exists; once served it is pinned to the
+    # server's engine-executor thread (see docs/invariants.md).
+    engine = InstantDB(args.data_dir) if args.data_dir else InstantDB()
+    asyncio.run(serve(engine, args))
     return 0
 
 

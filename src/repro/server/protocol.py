@@ -23,7 +23,7 @@ or ``DatabaseError`` — exactly like the in-process driver.
 from __future__ import annotations
 
 import struct
-from typing import Any, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..core.errors import OperationalError
 from ..core.values import NULL, REMOVED, SUPPRESSED
@@ -74,7 +74,7 @@ _F64 = struct.Struct(">d")
 _U32 = struct.Struct(">I")
 
 
-def _encode_into(value: Any, out: list) -> None:
+def _encode_into(value: Any, out: List[bytes]) -> None:
     if value is None:
         out.append(b"N")
     elif value is True:
@@ -116,7 +116,7 @@ def _encode_into(value: Any, out: list) -> None:
 
 
 def encode_value(value: Any) -> bytes:
-    parts: list = []
+    parts: List[bytes] = []
     _encode_into(value, parts)
     return b"".join(parts)
 
@@ -167,7 +167,7 @@ def _decode_at(data: bytes, offset: int) -> Tuple[Any, int]:
             raise ProtocolError("truncated length")
         count = _U32.unpack_from(data, offset)[0]
         offset += 4
-        elements = []
+        elements: List[Any] = []
         for _ in range(count):
             element, offset = _decode_at(data, offset)
             elements.append(element)
@@ -177,7 +177,7 @@ def _decode_at(data: bytes, offset: int) -> Tuple[Any, int]:
             raise ProtocolError("truncated length")
         count = _U32.unpack_from(data, offset)[0]
         offset += 4
-        mapping = {}
+        mapping: Dict[Any, Any] = {}
         for _ in range(count):
             key, offset = _decode_at(data, offset)
             value, offset = _decode_at(data, offset)

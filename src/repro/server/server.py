@@ -37,6 +37,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
 from ..core.errors import InstantDBError, OperationalError
+from ..devtools import invariants
 from ..engine.database import InstantDB
 from . import protocol
 from .metrics import ServerMetrics
@@ -74,7 +75,7 @@ class _Connection:
     def force_close(self) -> None:
         try:
             self.writer.close()
-        except Exception:
+        except Exception:  # reprolint: disable=no-swallowed-abort -- transport already dead; nothing to surface
             pass
 
 
@@ -110,6 +111,11 @@ class InstantDBServer:
     async def start(self) -> "InstantDBServer":
         self._executor = ThreadPoolExecutor(max_workers=1,
                                             thread_name_prefix="instantdb-engine")
+        # Pin the engine to the executor thread: from here until stop(), any
+        # engine entry off this thread is a confinement violation (enforced
+        # at runtime under REPRO_DEBUG_INVARIANTS=1).
+        self._executor.submit(invariants.register_engine_thread,
+                              self.engine).result()
         self._server = await asyncio.start_server(self._handle_client,
                                                   self.host, self.port)
         if self.sessions.idle_timeout is not None:
@@ -141,11 +147,13 @@ class InstantDBServer:
             conn.force_close()
         if self._handlers:
             await asyncio.gather(*self._handlers, return_exceptions=True)
+        if self.owns_engine and self._executor is not None:
+            # Close on the executor: the engine is still pinned to it.
+            await self.run_on_engine(self.engine.close)
+        invariants.unregister_engine_thread(self.engine)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
-        if self.owns_engine:
-            self.engine.close()
 
     async def run_on_engine(self, fn: Callable[..., Any], *args: Any) -> Any:
         """Run ``fn`` on the engine executor, serialized with all statements.
@@ -200,7 +208,7 @@ class InstantDBServer:
             reader_task.cancel()
             try:
                 await reader_task
-            except (asyncio.CancelledError, Exception):
+            except (asyncio.CancelledError, Exception):  # reprolint: disable=no-swallowed-abort -- reader is cancelled; session teardown below must still run
                 pass
             self._connections.pop(session.session_id, None)
             had_txn = await self.run_on_engine(self.sessions.close, session)

@@ -26,6 +26,7 @@ import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.errors import NotSupportedError, ProgrammingError
+from ..devtools.invariants import TrackedLock
 from ..engine.database import InstantDB
 from ..query import ast_nodes as ast
 from ..query.executor import QueryResult
@@ -244,28 +245,37 @@ class SessionManager:
         self.idle_timeout = idle_timeout
         self.sessions: Dict[int, Session] = {}
         self._next_id = 1
+        # Registry lock: the asyncio loop thread reads the registry (reaper,
+        # stats) while the engine executor mutates it via open/close.
+        self._lock = TrackedLock("server.sessions")
 
     def open(self, peer: str = "?") -> Optional[Session]:
         """A new session, or ``None`` when the server is at capacity."""
-        if len(self.sessions) >= self.max_sessions:
-            return None
-        session = Session(self._next_id, self.engine, peer=peer)
-        self._next_id += 1
-        self.sessions[session.session_id] = session
-        return session
+        with self._lock:
+            if len(self.sessions) >= self.max_sessions:
+                return None
+            session = Session(self._next_id, self.engine, peer=peer)
+            self._next_id += 1
+            self.sessions[session.session_id] = session
+            return session
 
     def close(self, session: Session) -> bool:
-        self.sessions.pop(session.session_id, None)
+        with self._lock:
+            self.sessions.pop(session.session_id, None)
+        # Session teardown touches the engine; keep it outside the registry
+        # lock so "server.sessions" stays a leaf in the lock hierarchy.
         return session.close()
 
     def idle_sessions(self, now: Optional[float] = None) -> List[Session]:
         if self.idle_timeout is None:
             return []
-        return [session for session in self.sessions.values()
-                if session.idle_for(now) > self.idle_timeout]
+        with self._lock:
+            return [session for session in self.sessions.values()
+                    if session.idle_for(now) > self.idle_timeout]
 
     def __len__(self) -> int:
-        return len(self.sessions)
+        with self._lock:
+            return len(self.sessions)
 
 
 __all__ = ["Session", "SessionManager", "ServerCursor", "DEFAULT_PREFETCH"]

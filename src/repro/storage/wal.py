@@ -78,9 +78,30 @@ class LogRecordType(Enum):
     PAGE_ALLOC = "PAGE_ALLOC"
 
 
+#: Record types whose before/after images hold row payloads: when a row
+#: degrades past an accuracy level, these are the records whose images
+#: :meth:`WriteAheadLog.scrub_records` rewrites to ``None`` so the accurate
+#: value cannot be resurrected from the log (the paper's bounded-retention
+#: guarantee).  Every :class:`LogRecordType` must appear in exactly one of
+#: ``_SCRUB_TARGETS`` / ``_SCRUB_EXEMPT`` — enforced by the *wal-exhaustive*
+#: reprolint rule; see the new-record-type checklist in docs/invariants.md.
+_SCRUB_TARGETS = frozenset({
+    LogRecordType.INSERT,
+    LogRecordType.UPDATE,
+    LogRecordType.DELETE,
+    LogRecordType.DEGRADE,
+    LogRecordType.REMOVE,
+})
+
 #: Record types whose payloads carry no attribute values and must survive
-#: scrubbing (the degradation schedule and storage-structure records).
+#: scrubbing: transaction control and checkpoint markers, the SCRUB audit
+#: trail itself, the degradation schedule, and storage-structure records.
 _SCRUB_EXEMPT = frozenset({
+    LogRecordType.BEGIN,
+    LogRecordType.COMMIT,
+    LogRecordType.ABORT,
+    LogRecordType.CHECKPOINT,
+    LogRecordType.SCRUB,
     LogRecordType.SCHED_REGISTER,
     LogRecordType.SCHED_STEP,
     LogRecordType.SCHED_DEFER,

@@ -24,6 +24,7 @@ from enum import Enum
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.errors import DeadlockError, TransactionError
+from ..devtools.invariants import observe_txn_lock, observe_txn_release
 
 
 class LockMode(Enum):
@@ -63,6 +64,7 @@ class LockManager:
         wait.  Raises :class:`DeadlockError` when waiting would close a cycle
         in the waits-for graph.
         """
+        observe_txn_lock(txn_id, resource)
         holders = self._holders.setdefault(resource, {})
         current = holders.get(txn_id)
         if current is not None:
@@ -125,6 +127,7 @@ class LockManager:
 
     def release_all(self, txn_id: int) -> int:
         """Release every lock held by ``txn_id`` (commit/abort)."""
+        observe_txn_release(txn_id)
         resources = self._held_by_txn.pop(txn_id, set())
         for resource in resources:
             holders = self._holders.get(resource)

@@ -40,6 +40,18 @@ from ..storage.wal import (
     decode_schedule_steps,
 )
 
+#: Record types that replay deliberately ignores, with the reason on record.
+#: Every other :class:`LogRecordType` must be dispatched somewhere in this
+#: module — the *wal-exhaustive* reprolint rule fails the build otherwise
+#: (see the new-record-type checklist in docs/invariants.md).
+_REPLAY_IGNORED = frozenset({
+    # SCRUB is the audit trail of a log-scrubbing action.  Its *effect* (the
+    # nulled before/after images) is already persisted in the rewritten log
+    # records themselves, so replay has nothing to apply; re-running it would
+    # only re-count an action that already happened.
+    LogRecordType.SCRUB,
+})
+
 
 @dataclass
 class RecoveryReport:

@@ -10,11 +10,37 @@ socket protocol, proving the two drivers expose the same surface.
 
 from __future__ import annotations
 
+import functools
 import os
 
 import pytest
 
 REMOTE = os.environ.get("REPRO_TRANSPORT") == "remote"
+
+
+class _EngineProxy:
+    """Route test-side engine calls through the server's executor thread.
+
+    While an engine is being served it is pinned to the server's
+    engine-executor thread (enforced under ``REPRO_DEBUG_INVARIANTS=1``).
+    Tests that poke ``conn.engine`` directly would otherwise call in from
+    the pytest thread; this proxy submits bound methods through
+    ``ServerThread.submit`` and passes plain attribute reads through.
+    """
+
+    def __init__(self, server, engine):
+        object.__setattr__(self, "_server", server)
+        object.__setattr__(self, "_engine", engine)
+
+    def __getattr__(self, name):
+        value = getattr(self._engine, name)
+        if not callable(value):
+            return value
+
+        def call(*args, **kwargs):
+            return self._server.submit(functools.partial(value, *args, **kwargs))
+
+        return call
 
 
 def _make_remote_connect(servers):
@@ -36,7 +62,7 @@ def _make_remote_connect(servers):
         servers.append(server)
         host, port = server.address
         connection = client_connect(host, port, purpose=purpose)
-        connection.engine = engine
+        connection.engine = _EngineProxy(server, engine)
         connection.server = server
 
         original_close = connection.close

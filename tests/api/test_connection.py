@@ -171,7 +171,7 @@ class TestPurposeScoping:
         cur.execute("INSERT INTO person (id, location) VALUES (?, ?)",
                     (1, "1 Main Street, Paris"))
         conn.commit()
-        db.advance_time(hours=2)                # address degrades to city
+        conn.engine.advance_time(hours=2)       # address degrades to city
         assert cur.execute("SELECT location FROM person").fetchall() == \
             [("Paris",)]
         # per-statement override back to the conservative default: the tuple

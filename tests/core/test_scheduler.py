@@ -190,6 +190,49 @@ class TestCancellation:
         assert scheduler._event_waiters == {}
 
 
+class TestPredictComplete:
+    def test_final_step_predicted_without_mutation(self, location_tree):
+        lcp = AttributeLCP(location_tree, states=[0, 4], transitions=["1 hour"])
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", TupleLCP({"location": lcp}), inserted_at=0.0)
+        steps = scheduler.due_steps(HOUR)
+        assert scheduler.predict_complete(steps) == ["r1"]
+        # Pure prediction: the registration and its state are untouched.
+        assert scheduler.is_registered("r1")
+        assert scheduler.current_state("r1") == {"location": 0}
+
+    def test_intermediate_step_predicts_nothing(self, tuple_lcp):
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", tuple_lcp, inserted_at=0.0)
+        steps = scheduler.due_steps(HOUR)           # first of four transitions
+        assert scheduler.predict_complete(steps) == []
+
+    def test_all_attributes_must_finalize(self, location_tree, salary_scheme):
+        lcp = TupleLCP({
+            "location": AttributeLCP(location_tree, states=[0, 4],
+                                     transitions=["1 hour"]),
+            "salary": AttributeLCP(salary_scheme, states=[0, 4],
+                                   transitions=["2 days"]),
+        })
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", lcp, inserted_at=0.0)
+        only_location = scheduler.due_steps(HOUR)
+        assert [s.attribute for s in only_location] == ["location"]
+        assert scheduler.predict_complete(only_location) == []
+        both = only_location + scheduler.due_steps(3 * DAY)
+        assert scheduler.predict_complete(both) == ["r1"]
+
+    def test_stale_and_unknown_steps_ignored(self, location_tree):
+        lcp = AttributeLCP(location_tree, states=[0, 4], transitions=["1 hour"])
+        scheduler = DegradationScheduler()
+        scheduler.register("r1", TupleLCP({"location": lcp}), inserted_at=0.0)
+        stale = DegradationStep(record_id="r1", attribute="location",
+                                from_state=1, to_state=1, due=HOUR)
+        ghost = DegradationStep(record_id="ghost", attribute="location",
+                                from_state=0, to_state=1, due=HOUR)
+        assert scheduler.predict_complete([stale, ghost]) == []
+
+
 class TestOverdueCount:
     def test_overdue_count_tracks_due_steps(self, tuple_lcp):
         scheduler = DegradationScheduler()

@@ -6,6 +6,7 @@ import pytest
 from repro import AttributeLCP, InstantDB
 from repro.core.domains import build_location_tree
 from repro.privacy.forensic import scan_engine
+from repro.storage.wal import LogRecordType
 
 from ..conftest import build_engine
 
@@ -118,6 +119,46 @@ class TestBatchedWave:
         assert db.stats.rows_removed_by_policy == 18
         report = scan_engine(db, ADDRESSES + ["Paris", "Lyon", "France"])
         assert report.clean, report.summary()
+
+    def test_final_removals_share_the_batch_transaction(self):
+        # A single-transition policy: the wave's only step is also the final
+        # one, so the removals must fold into the same system transaction as
+        # the DEGRADE records — one txn, one commit flush for the whole wave.
+        db = InstantDB(batch_degradation=True)
+        location = db.register_domain(build_location_tree())
+        db.register_policy(AttributeLCP(location, states=[0, 4],
+                                        transitions=["1 hour"],
+                                        name="location_lcp"))
+        db.execute("CREATE TABLE trace (id INT PRIMARY KEY, location TEXT "
+                   "DEGRADABLE DOMAIN location POLICY location_lcp)")
+        insert_wave(db, 10)
+        system = db.transactions.stats.system_begun
+        flushed = db.wal.stats.flushed
+        db.advance_time(hours=2)
+        assert db.row_count("trace") == 0
+        assert db.stats.rows_removed_by_policy == 10
+        assert db.transactions.stats.system_begun - system == 1
+        assert db.wal.stats.flushed - flushed == 1
+        removes = [record for record in db.wal.records()
+                   if record.record_type is LogRecordType.REMOVE]
+        assert len(removes) == 10
+        assert {record.txn_id for record in removes} != {0}
+        assert len({record.txn_id for record in removes}) == 1
+
+    def test_partial_policy_batch_keeps_degraded_rows(self):
+        # remove_on_final only fires for fully-suppressing life cycles; a
+        # partial policy's final batch must leave the degraded tuples behind.
+        db = InstantDB(batch_degradation=True)
+        location = db.register_domain(build_location_tree())
+        db.register_policy(AttributeLCP(location, states=[0, 2],
+                                        transitions=["1 hour"],
+                                        name="location_lcp"))
+        db.execute("CREATE TABLE trace (id INT PRIMARY KEY, location TEXT "
+                   "DEGRADABLE DOMAIN location POLICY location_lcp)")
+        insert_wave(db, 6)
+        db.advance_time(hours=2)
+        assert db.row_count("trace") == 6
+        assert db.stats.rows_removed_by_policy == 0
 
 
 class TestLockConflictDeferral:

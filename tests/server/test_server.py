@@ -304,7 +304,9 @@ class TestExpiryWaves:
         try:
             assert errors == []
             # the engine survived interleaving and still answers queries
-            result = engine.execute("SELECT COUNT(*) AS n FROM person")
+            # (on its executor thread: the server is still serving it)
+            result = server.submit(
+                engine.execute, "SELECT COUNT(*) AS n FROM person")
             assert result.rows[0][0] >= 0
         finally:
             server.stop(drain=False)
