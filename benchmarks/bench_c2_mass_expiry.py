@@ -27,7 +27,7 @@ import time
 from repro import AttributeLCP, InstantDB
 from repro.core.domains import _CITIES, addresses_for_city, build_location_tree
 
-from .conftest import print_table
+from .conftest import print_table, record_bench
 
 #: Wave size; override with MASS_EXPIRY_N=200 for a CI smoke run.
 N = int(os.environ.get("MASS_EXPIRY_N", "10000"))
@@ -114,9 +114,83 @@ def test_mass_expiry_batch_vs_per_step():
     assert batched["page_flushes"] <= heap_pages
     assert per_step["page_flushes"] >= N
 
+    record_bench("c2", "mass_expiry_wave",
+                 variant="row", rows=N,
+                 batched_steps_per_sec=round(batched_rate, 1),
+                 per_step_steps_per_sec=round(per_step_rate, 1),
+                 batched_wal_flushes=batched["wal_flushes"],
+                 batched_seconds=round(batched["seconds"], 6))
+
     if N >= MIN_N_FOR_RATIO:
         assert batched_rate >= 3 * per_step_rate, (
             f"batched pipeline only {batched_rate / per_step_rate:.1f}x faster"
+        )
+
+
+def test_mass_expiry_columnar_wave():
+    """The same wave through the columnar segment layer.
+
+    With the trace table mirrored into columnar segments, the batch applies
+    each wave as one pass per affected (segment, column, level) chunk and logs
+    one ``SEGMENT_DEGRADE`` record per chunk instead of one ``DEGRADE`` record
+    per row — far fewer WAL records for the same durable outcome — while
+    keeping the batch pipeline's one-flush / one-scrub-pass structure.  The
+    wave must cost no more than the row-path batch wave.
+    """
+    row_db = _build_engine(batch=True)
+    _load_wave(row_db, N)
+    columnar_db = _build_engine(batch=True)
+    _load_wave(columnar_db, N)
+    columnar_db.columnarize("trace")
+
+    row_appended = row_db.wal.stats.appended
+    row = _drain_wave(row_db)
+    row_records = row_db.wal.stats.appended - row_appended
+
+    columnar_appended = columnar_db.wal.stats.appended
+    columnar = _drain_wave(columnar_db)
+    columnar_records = columnar_db.wal.stats.appended - columnar_appended
+
+    segments = columnar_db.table_store("trace").segments
+    print_table(
+        f"C2: {N}-record wave, row-path batch vs columnar segment chunks",
+        ["pipeline", "steps", "seconds", "WAL records", "WAL flushes",
+         "degrade chunks"],
+        [("row batch", row["steps"], f"{row['seconds']:.4f}",
+          row_records, row["wal_flushes"], "-"),
+         ("columnar batch", columnar["steps"], f"{columnar['seconds']:.4f}",
+          columnar_records, columnar["wal_flushes"],
+          segments.stats.degrade_chunks)])
+
+    # Same visible outcome, same durability structure as the row batch.
+    assert columnar["steps"] == N
+    assert columnar_db.level_histogram("trace", "location") == {1: N}
+    assert columnar["wal_flushes"] == 1
+    assert columnar["scrub_rewrites"] == 1
+
+    # The wave was applied as per-segment chunks, and each chunk covers many
+    # rows: the WAL carries one SEGMENT_DEGRADE record per chunk instead of
+    # one DEGRADE record per row.
+    assert segments.stats.degrade_chunks > 0
+    assert segments.stats.degrade_chunks < max(N // 2, 2)
+    assert columnar_records < row_records
+
+    record_bench("c2", "mass_expiry_wave_columnar",
+                 variant="columnar", rows=N,
+                 steps_per_sec=round(columnar["steps"] /
+                                     max(columnar["seconds"], 1e-9), 1),
+                 wal_records=columnar_records,
+                 row_path_wal_records=row_records,
+                 degrade_chunks=segments.stats.degrade_chunks,
+                 seconds=round(columnar["seconds"], 6),
+                 row_path_seconds=round(row["seconds"], 6))
+
+    # Columnar wave cost stays at or below the row-path batch cost (generous
+    # slack: timing noise at smoke scale must not fail CI).
+    if N >= MIN_N_FOR_RATIO:
+        assert columnar["seconds"] <= row["seconds"] * 1.25, (
+            f"columnar wave {columnar['seconds']:.4f}s vs "
+            f"row batch {row['seconds']:.4f}s"
         )
 
 

@@ -244,6 +244,22 @@ class InstantDB:
     def table_store(self, name: str) -> TableStore:
         return self._store_for(name)
 
+    def columnarize(self, table: str) -> None:
+        """Attach a columnar segment mirror to ``table``.
+
+        Builds the :class:`~repro.storage.segment.SegmentSet` from the current
+        heap and registers the table in the catalog, so the planner turns its
+        sequential scans into vectorized ColumnarScans (under read-path
+        optimizations — the baseline engine keeps the reference row pipeline)
+        and degradation waves rewrite it chunk-wise through the segment layer.
+        The mirror is derived state: recovery rebuilds it from the recovered
+        heap, and a reopened database must call :meth:`columnarize` again
+        after re-running its DDL.
+        """
+        name = table.lower()
+        self._store_for(name).columnarize()
+        self.catalog.set_columnar(name)
+
     def table_policy(self, name: str) -> Optional[TablePolicy]:
         return self.catalog.table(name).policy
 

@@ -35,6 +35,10 @@ from ..core.values import is_missing, sort_key
 #: the frequency map.
 EXACT_RANGE_NDV_LIMIT = 4096
 
+#: Equi-width buckets of the lazy numeric histogram backing range estimates
+#: on wide-NDV columns (built on first use, invalidated by any modification).
+HISTOGRAM_BUCKETS = 64
+
 #: Selectivity assumed for a conjunct the statistics cannot estimate.
 DEFAULT_SELECTIVITY = 1.0 / 3.0
 
@@ -67,7 +71,8 @@ def _stat_key(value: Any) -> Any:
 class ColumnStatistics:
     """Frequency map, NDV, min/max and missing count of one column."""
 
-    __slots__ = ("counts", "non_missing", "missing", "_min", "_max", "_dirty")
+    __slots__ = ("counts", "non_missing", "missing", "_min", "_max", "_dirty",
+                 "_hist")
 
     def __init__(self) -> None:
         self.counts: Dict[Any, int] = {}
@@ -77,6 +82,10 @@ class ColumnStatistics:
         self._min: Optional[Tuple[tuple, Any]] = None
         self._max: Optional[Tuple[tuple, Any]] = None
         self._dirty = False
+        #: Lazily built equi-width histogram: (min, max, bucket counts,
+        #: total), or ``()`` when the column is not numeric.  ``None`` =
+        #: stale (rebuilt on the next wide-NDV range estimate).
+        self._hist: Optional[Tuple] = None
 
     # -- maintenance ----------------------------------------------------------
 
@@ -87,6 +96,7 @@ class ColumnStatistics:
         surrogate = _stat_key(value)
         self.counts[surrogate] = self.counts.get(surrogate, 0) + 1
         self.non_missing += 1
+        self._hist = None
         skey = sort_key(surrogate)
         if self._min is None or skey < self._min[0]:
             self._min = (skey, surrogate)
@@ -102,6 +112,7 @@ class ColumnStatistics:
         if count is None:
             return
         self.non_missing = max(0, self.non_missing - 1)
+        self._hist = None
         if count <= 1:
             del self.counts[surrogate]
             # The removed value may have been an extreme; rescan lazily.
@@ -181,9 +192,60 @@ class ColumnStatistics:
                 and maximum > minimum:
             lo = float(low) if isinstance(low, (int, float)) else minimum
             hi = float(high) if isinstance(high, (int, float)) else maximum
+            histogram = self._histogram()
+            if histogram:
+                return self._histogram_fraction(histogram, lo, hi)
             fraction = (min(hi, maximum) - max(lo, minimum)) / (maximum - minimum)
             return min(1.0, max(0.0, fraction))
         return DEFAULT_SELECTIVITY
+
+    # -- histogram (wide-NDV numeric range estimates) --------------------------
+
+    def _histogram(self) -> Tuple:
+        """Equi-width bucket counts over the numeric surrogates, built lazily.
+
+        The exact frequency-map sum stops being affordable above
+        ``EXACT_RANGE_NDV_LIMIT`` distinct values, and pure min/max
+        interpolation assumes a uniform spread — badly wrong for skewed data
+        (e.g. a long-tailed timestamp column).  One pass over the frequency
+        map buckets it; any modification invalidates the cache.
+        """
+        if self._hist is None:
+            minimum, maximum = self.min_value, self.max_value
+            if not (isinstance(minimum, float) and isinstance(maximum, float)
+                    and maximum > minimum):
+                self._hist = ()
+            else:
+                buckets = [0] * HISTOGRAM_BUCKETS
+                width = (maximum - minimum) / HISTOGRAM_BUCKETS
+                total = 0
+                for surrogate, count in self.counts.items():
+                    if not isinstance(surrogate, float):
+                        continue
+                    position = min(HISTOGRAM_BUCKETS - 1,
+                                   int((surrogate - minimum) / width))
+                    buckets[position] += count
+                    total += count
+                self._hist = (minimum, width, buckets, total) if total else ()
+        return self._hist
+
+    def _histogram_fraction(self, histogram: Tuple, lo: float,
+                            hi: float) -> float:
+        """Fraction of non-missing rows in ``[lo, hi]``: full buckets count
+        whole, edge buckets contribute their overlapped share (uniform spread
+        assumed only *within* a bucket)."""
+        minimum, width, buckets, _total = histogram
+        matched = 0.0
+        for position, count in enumerate(buckets):
+            if not count:
+                continue
+            bucket_lo = minimum + position * width
+            bucket_hi = bucket_lo + width
+            overlap = min(hi, bucket_hi) - max(lo, bucket_lo)
+            if overlap <= 0:
+                continue
+            matched += count * min(1.0, overlap / width)
+        return min(1.0, max(0.0, matched / self.non_missing))
 
 
 class TableStatistics:
@@ -331,5 +393,5 @@ class StatisticsRegistry:
 
 
 __all__ = ["ColumnStatistics", "TableStatistics", "StatisticsRegistry",
-           "DEFAULT_SELECTIVITY", "EXACT_RANGE_NDV_LIMIT",
+           "DEFAULT_SELECTIVITY", "EXACT_RANGE_NDV_LIMIT", "HISTOGRAM_BUCKETS",
            "EPOCH_MOD_FLOOR", "EPOCH_MOD_FRACTION"]

@@ -40,6 +40,7 @@ from ..core.values import NULL, REMOVED, SUPPRESSED
 from .buffer import BufferPool
 from .crypto import KeyStore
 from .heap import HeapFile, RecordId
+from .segment import SegmentSet
 from .serialization import (
     decode_value,
     encode_record,
@@ -47,7 +48,7 @@ from .serialization import (
     record_field_count,
     skip_values,
 )
-from .wal import LogRecordType, WriteAheadLog
+from .wal import LogRecordType, WriteAheadLog, encode_segment_degrade
 
 #: Strategies for making degradation non-recoverable.
 STRATEGIES = ("rewrite", "crypto")
@@ -117,6 +118,23 @@ class TableStore:
         self._next_row_key = 1
         #: Memoized per column-subset: which fields to decode vs. byte-skip.
         self._decode_plans: Dict[Optional[frozenset], Tuple] = {}
+        #: Optional columnar mirror (see :meth:`columnarize`).  ``None`` keeps
+        #: the table purely row-oriented; when attached, every mutation below
+        #: maintains the segment vectors in O(1).
+        self.segments: Optional[SegmentSet] = None
+
+    def columnarize(self) -> SegmentSet:
+        """Attach (or rebuild) the columnar segment mirror of this table.
+
+        The heap remains the authoritative durable copy; the returned
+        :class:`~repro.storage.segment.SegmentSet` holds the same rows in
+        column-major vectors for vectorized scans and chunked degradation
+        waves, and is kept in sync by the mutation hooks from here on.
+        """
+        segments = SegmentSet(self.schema)
+        segments.rebuild(self.scan())
+        self.segments = segments
+        return segments
 
     # -- encoding helpers -----------------------------------------------------
 
@@ -251,6 +269,8 @@ class TableStore:
             LogRecordType.INSERT, txn_id, table=self.schema.name, row_key=row_key,
             after=payload, timestamp=now,
         )
+        if self.segments is not None:
+            self.segments.on_insert(row_key, now, values, levels)
         self.stats.inserts += 1
         return row_key
 
@@ -389,6 +409,8 @@ class TableStore:
             after=encode_record([to_level]),
             timestamp=now,
         )
+        if self.segments is not None:
+            self.segments.on_value_change(row_key, column, new_value, to_level)
         # A degradation step is only irreversible once it reached stable storage.
         self.buffer_pool.flush_page(self._locations[row_key].page_id, sync=True)
         if self.strategy == "rewrite":
@@ -415,7 +437,16 @@ class TableStore:
 
         Returns one :class:`DegradeOutcome` per item, in item order grouped by
         row, carrying the value transition the index layer needs.
+
+        With a columnar mirror attached the wave runs through the segment
+        layer instead (:meth:`_degrade_many_columnar`): same outcomes, same
+        page-flush/scrub ordering, but the row images come from the segment
+        vectors (no heap read, no record decode) and the WAL carries one
+        ``SEGMENT_DEGRADE`` record per (segment, column, level) chunk instead
+        of one ``DEGRADE`` record per row.
         """
+        if self.segments is not None:
+            return self._degrade_many_columnar(items, now, txn_id)
         by_row: Dict[int, List[Tuple[int, str, GeneralizationScheme, int]]] = {}
         row_order: List[int] = []
         for item in items:
@@ -498,6 +529,130 @@ class TableStore:
                 [(self.schema.name, row_key) for row_key in scrub_rows], now=now)
         return outcomes
 
+    def _degrade_many_columnar(
+            self, items: List[Tuple[int, str, GeneralizationScheme, int]],
+            now: float, txn_id: int = 0) -> List[DegradeOutcome]:
+        """Columnar wave path: rewrite level/value vector chunks in one pass.
+
+        Row images are taken from the segment vectors (already-decoded
+        plaintext), so the heap is only *written*: per affected row one
+        re-encode + in-place rewrite, with the same coalesced page flush, one
+        pager sync, and one log-scrub pass as the row path.  The WAL records
+        the wave as one ``SEGMENT_DEGRADE`` record per (segment, column,
+        target level) chunk — recovery redoes lagging rows from the listed
+        row keys exactly like per-row ``DEGRADE`` records.
+        """
+        segments = self.segments
+        assert segments is not None
+        by_row: Dict[int, List[Tuple[int, str, GeneralizationScheme, int]]] = {}
+        row_order: List[int] = []
+        for item in items:
+            row_key = item[0]
+            if row_key not in by_row:
+                by_row[row_key] = []
+                row_order.append(row_key)
+            by_row[row_key].append(item)
+        outcomes: List[DegradeOutcome] = []
+        dirty_pages: List[int] = []
+        seen_pages: set = set()
+        scrub_rows: List[int] = []
+        #: (segment id, column, to_level) → affected row keys: the chunks.
+        chunks: Dict[Tuple[int, str, int], List[int]] = {}
+        for row_key in row_order:
+            slot = segments.locate(row_key)
+            if slot is None:
+                # Not mirrored (defensive): take the row-at-a-time heap path.
+                row = self.read(row_key)
+                segment, position = None, -1
+                levels = dict(row.levels)
+                values = dict(row.values)
+                inserted_at = row.inserted_at
+            else:
+                segment, position = slot
+                levels = {name: vector[position]
+                          for name, vector in segment.levels.items()}
+                values = {name: vector[position]
+                          for name, vector in segment.values.items()}
+                inserted_at = segment.inserted_at[position]
+            applied: List[DegradeOutcome] = []
+            for _row_key, column, scheme, to_level in by_row[row_key]:
+                column = column.lower()
+                if column not in self._degradable:
+                    raise PolicyError(
+                        f"table {self.schema.name!r}: column {column!r} is not degradable"
+                    )
+                from_level = levels[column]
+                if to_level < from_level:
+                    raise PolicyError(
+                        "degradation is irreversible: cannot decrease the level"
+                    )
+                old_value = values[column]
+                if to_level == from_level:
+                    outcomes.append(DegradeOutcome(
+                        row_key=row_key, column=column, from_level=from_level,
+                        to_level=to_level, old_value=old_value,
+                        new_value=old_value, changed=False,
+                    ))
+                    continue
+                if self._is_sentinel(old_value):
+                    new_value = old_value
+                else:
+                    new_value = scheme.generalize(old_value, to_level,
+                                                  from_level=from_level)
+                levels[column] = to_level
+                values[column] = new_value
+                outcome = DegradeOutcome(
+                    row_key=row_key, column=column, from_level=from_level,
+                    to_level=to_level, old_value=old_value, new_value=new_value,
+                )
+                applied.append(outcome)
+                outcomes.append(outcome)
+            if not applied:
+                continue
+            payload = self._encode_row(row_key, inserted_at, levels, values)
+            self._rewrite(row_key, payload)
+            for outcome in applied:
+                segments.on_value_change(row_key, outcome.column,
+                                         outcome.new_value, outcome.to_level)
+                if self.strategy == "crypto":
+                    for level in range(outcome.from_level, outcome.to_level):
+                        self.keystore.destroy_key(
+                            (self.schema.name, row_key, outcome.column, level))
+                if segment is not None:
+                    chunks.setdefault(
+                        (segment.segment_id, outcome.column, outcome.to_level),
+                        []).append(row_key)
+                else:
+                    self.wal.append(
+                        LogRecordType.DEGRADE, txn_id, table=self.schema.name,
+                        row_key=row_key, attribute=outcome.column,
+                        after=encode_record([outcome.to_level]), timestamp=now,
+                    )
+                self.stats.degrade_steps += 1
+            page_id = self._locations[row_key].page_id
+            if page_id not in seen_pages:
+                seen_pages.add(page_id)
+                dirty_pages.append(page_id)
+            if self.strategy == "rewrite":
+                scrub_rows.append(row_key)
+        for (segment_id, column, to_level), row_keys in chunks.items():
+            self.wal.append(
+                LogRecordType.SEGMENT_DEGRADE, txn_id, table=self.schema.name,
+                row_key=segment_id, attribute=column,
+                after=encode_segment_degrade(to_level, row_keys), timestamp=now,
+            )
+            segments.stats.degrade_chunks += 1
+        # Same irreversibility ordering as the row path: degraded pages reach
+        # stable storage before the accurate log images are scrubbed.
+        for page_id in dirty_pages:
+            self.buffer_pool.flush_page(page_id)
+        if dirty_pages:
+            self.buffer_pool.sync()
+        if scrub_rows:
+            self.wal.scrub_records(
+                [(self.schema.name, row_key) for row_key in scrub_rows], now=now)
+        return outcomes
+
     def remove(self, row_key: int, now: float, txn_id: int = 0,
                scrub_log: bool = True) -> None:
         """Final removal at the end of the life cycle (or explicit delete).
@@ -514,6 +669,8 @@ class TableStore:
             LogRecordType.REMOVE, txn_id, table=self.schema.name, row_key=row_key,
             timestamp=now,
         )
+        if self.segments is not None:
+            self.segments.on_remove(row_key)
         if scrub_log:
             self.wal.scrub_record(self.schema.name, row_key, now=now)
         self.buffer_pool.flush_page(record_id.page_id, sync=True)
@@ -541,6 +698,8 @@ class TableStore:
                 LogRecordType.REMOVE, txn_id, table=self.schema.name,
                 row_key=row_key, timestamp=now,
             )
+            if self.segments is not None:
+                self.segments.on_remove(row_key)
             if record_id.page_id not in seen_pages:
                 seen_pages.add(record_id.page_id)
                 dirty_pages.append(record_id.page_id)
@@ -571,6 +730,8 @@ class TableStore:
         del self._locations[row_key]
         if self.keystore is not None:
             self.keystore.destroy_matching((self.schema.name, row_key))
+        if self.segments is not None:
+            self.segments.on_remove(row_key)
         if scrub_log:
             self.wal.scrub_record(self.schema.name, row_key, now=now)
         self.stats.removals += 1
@@ -601,6 +762,8 @@ class TableStore:
             LogRecordType.UPDATE, txn_id, table=self.schema.name, row_key=row_key,
             attribute=column, before=before_payload, after=payload, timestamp=now,
         )
+        if self.segments is not None:
+            self.segments.on_value_change(row_key, column, new_values[column])
         self.stats.stable_updates += 1
         return self._decode_row(payload)
 
@@ -631,6 +794,11 @@ class TableStore:
         else:
             record_id = self.heap.insert(payload)
             self._locations[row.row_key] = record_id
+        if self.segments is not None:
+            # on_insert replaces any existing slot, so both branches above
+            # land the restored image in the segment vectors.
+            self.segments.on_insert(row.row_key, row.inserted_at,
+                                    row.values, row.levels)
         self._next_row_key = max(self._next_row_key, row.row_key + 1)
         return row.row_key
 
@@ -647,13 +815,26 @@ class TableStore:
         self._next_row_key = max(self._next_row_key, int(row_key) + 1)
 
     def rebuild_locations(self) -> None:
-        """Rebuild the row-key → record-id map by scanning the heap (recovery)."""
+        """Rebuild the row-key → record-id map by scanning the heap (recovery).
+
+        An attached columnar mirror is rebuilt in the same decode pass —
+        segments are derived state and must come back from the recovered
+        heap, never from their own (non-durable) vectors.
+        """
         self._locations.clear()
+        segments = self.segments
+        if segments is not None:
+            segments.clear()
         max_key = 0
         for record_id, payload in self.heap.scan():
             row = self._decode_row(payload)
             self._locations[row.row_key] = record_id
+            if segments is not None:
+                segments.on_insert(row.row_key, row.inserted_at,
+                                   row.values, row.levels)
             max_key = max(max_key, row.row_key)
+        if segments is not None:
+            segments.stats.rebuilds += 1
         self._next_row_key = max_key + 1
 
 

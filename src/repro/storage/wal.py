@@ -52,6 +52,13 @@ class LogRecordType(Enum):
     UPDATE = "UPDATE"
     DELETE = "DELETE"
     DEGRADE = "DEGRADE"
+    # One degradation-wave chunk applied through the columnar segment layer:
+    # every listed row of one segment had ``attribute`` advanced to the same
+    # accuracy level.  ``row_key`` holds the *segment id* (not a heap row key)
+    # and the payload carries only the target level plus the affected row
+    # keys — never attribute values — so the record replaces N per-row
+    # DEGRADE records with one, and is scrub-exempt by construction.
+    SEGMENT_DEGRADE = "SEGMENT_DEGRADE"
     REMOVE = "REMOVE"          # final removal at end of life cycle
     CHECKPOINT = "CHECKPOINT"
     SCRUB = "SCRUB"            # audit trace of a log scrubbing action
@@ -109,6 +116,9 @@ _SCRUB_EXEMPT = frozenset({
     LogRecordType.SCHED_CHECKPOINT,
     LogRecordType.TABLE_DROP,
     LogRecordType.PAGE_ALLOC,
+    # Carries a target level + row keys only (its ``row_key`` field is a
+    # segment id, so the (table, row_key) scrub match must never touch it).
+    LogRecordType.SEGMENT_DEGRADE,
 })
 
 
@@ -229,6 +239,23 @@ def decode_schedule_defers(payload: bytes) -> List[Tuple[int, str, int, float, f
     return entries
 
 
+def encode_segment_degrade(to_level: int, row_keys: List[int]) -> bytes:
+    """Encode a SEGMENT_DEGRADE payload: target level + affected row keys."""
+    flat: List[Any] = [int(to_level), len(row_keys)]
+    flat.extend(int(row_key) for row_key in row_keys)
+    return encode_record(flat)
+
+
+def decode_segment_degrade(payload: bytes) -> Tuple[int, List[int]]:
+    """Inverse of :func:`encode_segment_degrade`."""
+    flat = decode_record(payload)
+    count = int(flat[1])
+    if len(flat) != 2 + count:
+        raise WALError(
+            f"malformed SEGMENT_DEGRADE payload with {len(flat)} fields")
+    return int(flat[0]), [int(row_key) for row_key in flat[2:]]
+
+
 def encode_policy_names(policies: Dict[str, str]) -> bytes:
     """Encode the attribute → policy-name map a SCHED_REGISTER record carries.
 
@@ -313,7 +340,9 @@ class WriteAheadLog:
                row_key: int = -1, attribute: str = "",
                before: Optional[bytes] = None, after: Optional[bytes] = None,
                timestamp: float = 0.0) -> LogRecord:
-        if record_type is LogRecordType.DEGRADE and before is not None:
+        if before is not None and (
+                record_type is LogRecordType.DEGRADE
+                or record_type is LogRecordType.SEGMENT_DEGRADE):
             raise WALError(
                 "DEGRADE log records must not carry an accurate before-image"
             )
@@ -526,5 +555,6 @@ class WriteAheadLog:
 __all__ = ["WriteAheadLog", "LogRecord", "LogRecordType", "WALStats",
            "encode_schedule_steps", "decode_schedule_steps",
            "encode_schedule_defers", "decode_schedule_defers",
+           "encode_segment_degrade", "decode_segment_degrade",
            "encode_policy_names", "decode_policy_names",
            "encode_page_directory", "decode_page_directory"]

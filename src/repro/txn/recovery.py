@@ -38,6 +38,7 @@ from ..storage.wal import (
     decode_policy_names,
     decode_schedule_defers,
     decode_schedule_steps,
+    decode_segment_degrade,
 )
 
 #: Record types that replay deliberately ignores, with the reason on record.
@@ -61,11 +62,18 @@ class RecoveryReport:
     loser_txns: Set[int] = field(default_factory=set)
     redone_inserts: int = 0
     redone_degrades: int = 0
+    #: SEGMENT_DEGRADE chunk records dispatched during redo (columnar waves).
+    redone_segment_chunks: int = 0
     redone_removes: int = 0
     redone_updates: int = 0
     undone_inserts: int = 0
     undone_updates: int = 0
     skipped_undos: int = 0
+    #: Full forward iterations over the WAL spent *preparing* recovery
+    #: (transaction analysis, drop epochs, page directory, row-key highs).
+    #: Exactly 1 by construction — the fused :meth:`RecoveryManager._prepare`
+    #: pass — and asserted on by the recovery tests.
+    wal_prep_passes: int = 0
 
 
 @dataclass
@@ -98,32 +106,82 @@ class RecoveryManager:
         #: unknown-table error; for a re-created name it stops old-epoch
         #: removals from deleting the new table's rows (keys are reused).
         self._drop_lsns: Dict[str, int] = {}
-        for record in wal:
-            if record.record_type is LogRecordType.TABLE_DROP:
-                self._drop_lsns[record.table] = record.lsn
+        #: Transaction analysis (winners / losers at the crash point).
+        self._committed: Set[int] = set()
+        self._losers: Set[int] = set()
+        #: Table → heap page ids (last CHECKPOINT directory + PAGE_ALLOC tail).
+        self._page_directory: Dict[str, List[int]] = {}
+        #: Table → highest row key the surviving log mentions.
+        self._highest_row_keys: Dict[str, int] = {}
+        #: Full forward WAL iterations spent preparing recovery — exactly one.
+        self.wal_prep_passes = 0
+        self._prepare()
 
-    # -- analysis -------------------------------------------------------------
+    # -- preparation (the single forward pass) ---------------------------------
 
-    def _analyse(self) -> RecoveryReport:
-        report = RecoveryReport()
+    def _prepare(self) -> None:
+        """One fused forward pass over the log.
+
+        Historically four separate iterations (drop-epoch scan, transaction
+        analysis, page-directory restore, row-key reservation) each walked the
+        full record list.  They fold into one because every
+        drop-epoch-dependent decision can be made *incrementally*: a
+        ``TABLE_DROP`` simply discards whatever state its table accumulated so
+        far (directory pages, row-key high), which is exactly what filtering
+        by the final drop LSN would have removed afterwards.
+        """
+        self.wal_prep_passes += 1
         begun: Set[int] = set()
+        committed: Set[int] = set()
+        highest = self._highest_row_keys
         for record in self.wal:
-            if record.record_type is LogRecordType.BEGIN:
+            record_type = record.record_type
+            if record_type is LogRecordType.BEGIN:
                 begun.add(record.txn_id)
-            elif record.record_type is LogRecordType.COMMIT:
-                report.committed_txns.add(record.txn_id)
-            elif record.record_type is LogRecordType.ABORT:
+                continue
+            if record_type is LogRecordType.COMMIT:
+                committed.add(record.txn_id)
+                continue
+            if record_type is LogRecordType.ABORT:
                 # Aborted transactions were rolled back before the crash (their
                 # undo is already reflected); they are neither winners nor losers.
                 begun.discard(record.txn_id)
-        report.loser_txns = begun - report.committed_txns
-        return report
+                continue
+            if record_type is LogRecordType.TABLE_DROP:
+                # Everything this table accumulated belongs to the dropped
+                # incarnation; a re-created table rebuilds its state from the
+                # newer-epoch records that follow.
+                self._drop_lsns[record.table] = record.lsn
+                self._page_directory.pop(record.table, None)
+                highest.pop(record.table, None)
+                continue
+            if record_type is LogRecordType.CHECKPOINT:
+                if record.after is not None:
+                    # The directory payload supersedes everything before it;
+                    # entries of tables dropped later are removed by the
+                    # TABLE_DROP branch above as those records stream past.
+                    self._page_directory = decode_page_directory(record.after)
+                continue
+            if record_type is LogRecordType.PAGE_ALLOC:
+                # The row-key field holds a page id, not a row key.
+                self._page_directory.setdefault(record.table, []).append(
+                    record.row_key)
+                continue
+            if record.table and record.row_key >= 0 and \
+                    record_type is not LogRecordType.SEGMENT_DEGRADE:
+                # SEGMENT_DEGRADE's row-key field holds a segment id; the rows
+                # it lists are covered by their own INSERT records.
+                if record.row_key > highest.get(record.table, 0):
+                    highest[record.table] = record.row_key
+        self._committed = committed
+        self._losers = begun - committed
 
     # -- recovery -----------------------------------------------------------------
 
     def recover(self) -> RecoveryReport:
         """Rebuild row maps, redo winner work and degradation, undo losers."""
-        report = self._analyse()
+        report = RecoveryReport(committed_txns=set(self._committed),
+                                loser_txns=set(self._losers))
         self._restore_page_directories()
         for store in self.stores.values():
             store.rebuild_locations()
@@ -132,6 +190,7 @@ class RecoveryManager:
         self._reserve_row_keys()
         for store in self.stores.values():
             store.flush()
+        report.wal_prep_passes = self.wal_prep_passes
         return report
 
     def _reserve_row_keys(self) -> None:
@@ -140,21 +199,11 @@ class RecoveryManager:
         Rebuilding from live rows alone would re-issue keys freed by
         removals; a reused key would collide with the old incarnation's
         surviving REMOVE records on the next recovery and delete the new
-        row.  PAGE_ALLOC records are excluded (their row-key field holds a
-        page id), as are records of dropped epochs.
+        row.  The per-table highs come from the prepare pass (PAGE_ALLOC and
+        SEGMENT_DEGRADE records excluded — their row-key fields hold page and
+        segment ids — as are records of dropped epochs).
         """
-        highest: Dict[str, int] = {}
-        for record in self.wal:
-            if not record.table or record.row_key < 0:
-                continue
-            if record.record_type in (LogRecordType.PAGE_ALLOC,
-                                      LogRecordType.TABLE_DROP):
-                continue
-            if self._old_epoch(record):
-                continue
-            highest[record.table] = max(highest.get(record.table, 0),
-                                        record.row_key)
-        for table, row_key in highest.items():
+        for table, row_key in self._highest_row_keys.items():
             store = self.stores.get(table)
             if store is not None:
                 store.reserve_row_keys_after(row_key)
@@ -163,29 +212,12 @@ class RecoveryManager:
         """Re-attach heap pages to their tables before scanning them.
 
         Page ownership is durable as the last CHECKPOINT record's directory
-        payload plus the PAGE_ALLOC records behind it.  Freshly opened stores
-        own no pages, so without this step every row that exists only on a
-        flushed page (all degraded rows — their log images are scrubbed)
-        would be unreachable.
+        payload plus the PAGE_ALLOC records behind it (assembled by the
+        prepare pass).  Freshly opened stores own no pages, so without this
+        step every row that exists only on a flushed page (all degraded rows
+        — their log images are scrubbed) would be unreachable.
         """
-        directory: Dict[str, List[int]] = {}
-        for record in self.wal:
-            if record.record_type is LogRecordType.CHECKPOINT:
-                if record.after is not None:
-                    # Directory entries of tables dropped after the
-                    # checkpoint describe the old incarnation; the
-                    # re-created table's pages arrive through its own
-                    # (newer-epoch) PAGE_ALLOC records below.
-                    directory = {
-                        table: pages
-                        for table, pages in
-                        decode_page_directory(record.after).items()
-                        if self._drop_lsns.get(table, 0) <= record.lsn
-                    }
-            elif record.record_type is LogRecordType.PAGE_ALLOC:
-                if not self._old_epoch(record):
-                    directory.setdefault(record.table, []).append(record.row_key)
-        for table, page_ids in directory.items():
+        for table, page_ids in self._page_directory.items():
             store = self.stores.get(table)
             if store is None:
                 # A dropped table's allocation records may outlive it in the
@@ -233,6 +265,14 @@ class RecoveryManager:
                 # Degradation is redone regardless of the surrounding user txn.
                 if store.exists(record.row_key):
                     report.redone_degrades += self._redo_degrade(store, record)
+            elif record.record_type is LogRecordType.SEGMENT_DEGRADE:
+                # A columnar wave chunk: like DEGRADE, always redone.  The
+                # record's row-key field is a segment id; the affected heap
+                # rows are listed in the payload.
+                if record.after is not None:
+                    report.redone_degrades += \
+                        self._redo_segment_degrade(store, record)
+                    report.redone_segment_chunks += 1
             elif record.record_type is LogRecordType.REMOVE:
                 if store.exists(record.row_key):
                     store.replay_remove(record.row_key, now=record.timestamp)
@@ -258,9 +298,10 @@ class RecoveryManager:
         never lost, never applied twice.
         """
         report = ScheduleReplayReport()
-        # Reuse the caller's analysis pass when available (the engine just
-        # ran recover()); the log has not changed in between.
-        committed = (recovery_report or self._analyse()).committed_txns
+        # The winner set comes from the caller's recovery report when given,
+        # else from the fused prepare pass — never from a fresh log iteration.
+        committed = (recovery_report.committed_txns
+                     if recovery_report is not None else self._committed)
         # Checkpoints append their snapshot chunks *before* the CHECKPOINT
         # marker: a torn tail chops the log from the first torn record on,
         # so a surviving marker proves the complete chunk run before it
@@ -371,6 +412,26 @@ class RecoveryManager:
         # degradation step is simply pending again.  Leave it to the daemon;
         # report it so tests can assert on the count.
         return 1
+
+    @staticmethod
+    def _redo_segment_degrade(store: TableStore, record: LogRecord) -> int:
+        """Per-row lag check for one columnar wave chunk.
+
+        Same contract as :meth:`_redo_degrade`, applied to every row key the
+        chunk payload lists: rows whose stored level lags the logged target
+        had their page write lost in the crash — they stay pending for the
+        daemon (the value cannot come from the log, which carries no images).
+        Returns the number of lagging rows.
+        """
+        to_level, row_keys = decode_segment_degrade(record.after)
+        lagging = 0
+        for row_key in row_keys:
+            if not store.exists(row_key):
+                continue
+            row = store.read(row_key)
+            if row.levels.get(record.attribute, 0) < to_level:
+                lagging += 1
+        return lagging
 
     def _undo(self, report: RecoveryReport) -> None:
         for record in reversed(self.wal.records()):

@@ -443,3 +443,76 @@ class TestScheduleHygieneAcrossRestart:
         assert second.overdue_steps_applied == 0
         assert second.registrations == first.registrations
         assert db2.level_histogram("trace", "location") == {1: 3, 0: 1}
+
+
+class TestColumnarSegmentsAfterCrash:
+    """Columnar waves log SEGMENT_DEGRADE chunk records; a crash mid-wave
+    must leave a log that recovery can replay into correct segments and
+    level vectors (the mirror is derived — the heap stays the truth)."""
+
+    def test_mid_wave_kill_rebuilds_segments_and_level_vectors(self, tmp_path):
+        from repro.storage.wal import LogRecordType
+
+        db = build_trace_db(tmp_path, degradation_max_batch=2)
+        insert_wave(db, 6)
+        db.columnarize("trace")
+
+        original = db.daemon.batch_applier
+        calls = {"count": 0}
+
+        def crashing_applier(key, steps):
+            calls["count"] += 1
+            if calls["count"] > 1:            # first chunk committed + flushed,
+                raise KeyboardInterrupt      # then the process is killed
+            return original(key, steps)
+
+        db.daemon.batch_applier = crashing_applier
+        with pytest.raises(KeyboardInterrupt):
+            db.advance_time(hours=2)
+        assert db.stats.degradation_steps_applied == 2
+        # The committed chunk went through the segment layer: the surviving
+        # log carries SEGMENT_DEGRADE records, no per-row DEGRADE records.
+        assert any(r.record_type is LogRecordType.SEGMENT_DEGRADE
+                   for r in db.wal)
+        assert not any(r.record_type is LogRecordType.DEGRADE for r in db.wal)
+        crash(db)
+
+        db2 = build_trace_db(tmp_path, degradation_max_batch=2)
+        db2.columnarize("trace")             # reopened engines re-opt in
+        report = db2.recover()
+        assert report.recovery.wal_prep_passes == 1
+        assert report.recovery.redone_segment_chunks >= 1
+        # The two logged steps are replayed, the four unapplied ones fire
+        # exactly once through the catch-up drain — identical outcome to the
+        # row path.
+        assert report.schedule.steps_replayed == 2
+        assert report.overdue_steps_applied == 4
+        assert db2.level_histogram("trace", "location") == {1: 6}
+
+        # The rebuilt mirror agrees with the recovered heap, level vectors
+        # included, and the catch-up wave itself ran columnar.
+        segments = db2.table_store("trace").segments
+        assert segments.stats.rebuilds >= 1
+        assert segments.stats.degrade_chunks >= 1
+        for key in range(1, 7):
+            segment, position = segments.locate(key)
+            assert segment.levels["location"][position] == 1
+            assert segment.values["location"][position] == "Paris"
+
+    def test_reopen_without_columnarize_recovers_on_the_row_path(self, tmp_path):
+        """The mirror is opt-in per process lifetime: a reopened engine that
+        never calls columnarize() recovers and degrades row-at-a-time, even
+        with SEGMENT_DEGRADE records in the log."""
+        db = build_trace_db(tmp_path)
+        insert_wave(db, 4)
+        db.columnarize("trace")
+        db.daemon.pause()
+        db.advance_time(hours=2)             # steps come due, unapplied
+        db.execute(f"INSERT INTO trace VALUES (99, '{LYON}')")   # ts proof
+        crash(db)
+
+        db2 = build_trace_db(tmp_path)       # no columnarize
+        report = db2.recover()
+        assert report.overdue_steps_applied == 4
+        assert db2.table_store("trace").segments is None
+        assert db2.level_histogram("trace", "location") == {1: 4, 0: 1}

@@ -136,3 +136,94 @@ class TestRedo:
         from repro.core.errors import RecoveryError
         with pytest.raises(RecoveryError):
             RecoveryManager(wal, {"person": store}).recover()
+
+
+class TestSinglePassPrepare:
+    def test_recovery_prepares_in_exactly_one_wal_pass(self):
+        wal, store, manager = make_environment()
+        winner = manager.begin()
+        store.insert(ROW, now=0.0, txn_id=winner.txn_id)
+        manager.commit(winner)
+        loser = manager.begin()
+        store.insert({**ROW, "id": 2}, now=0.0, txn_id=loser.txn_id)
+        report = RecoveryManager(wal, {"person": store}).recover()
+        # Analysis, drop epochs, page directory and row-key highs all come
+        # out of the single fused forward pass.
+        assert report.wal_prep_passes == 1
+
+
+class TestSegmentDegradeRecords:
+    def rows(self, count):
+        return [{**ROW, "id": i} for i in range(1, count + 1)]
+
+    def make_columnar_wave(self, count=5, to_level=1):
+        wal, store, manager = make_environment()
+        winner = manager.begin()
+        keys = [store.insert(row, now=0.0, txn_id=winner.txn_id)
+                for row in self.rows(count)]
+        manager.commit(winner)
+        store.columnarize()
+        system = manager.begin(system=True)
+        store.degrade_many([(key, "location", LOCATION, to_level)
+                            for key in keys], now=3600.0,
+                           txn_id=system.txn_id)
+        return wal, store, manager, keys
+
+    def test_columnar_wave_logs_chunks_not_rows(self):
+        wal, store, _manager, keys = self.make_columnar_wave()
+        records = [r for r in wal
+                   if r.record_type is LogRecordType.SEGMENT_DEGRADE]
+        degrades = [r for r in wal if r.record_type is LogRecordType.DEGRADE]
+        assert len(records) == 1 and not degrades
+        # The record's row-key field carries the segment id, and the payload
+        # lists every affected heap row.
+        from repro.storage.wal import decode_segment_degrade
+        to_level, row_keys = decode_segment_degrade(records[0].after)
+        assert to_level == 1 and sorted(row_keys) == sorted(keys)
+        assert records[0].before is None
+
+    def test_recovery_rebuilds_segments_and_level_vectors(self):
+        wal, store, manager, keys = self.make_columnar_wave()
+        # Crash: lose the in-memory state, keep heap pages + log.
+        store._locations.clear()
+        store.segments.clear()
+        report = RecoveryManager(wal, {"person": store}).recover()
+        assert report.wal_prep_passes == 1
+        assert report.redone_segment_chunks == 1
+        assert report.redone_degrades == 0            # pages were flushed
+        segments = store.segments
+        assert segments.stats.rebuilds >= 1
+        for key in keys:
+            segment, position = segments.locate(key)
+            assert segment.levels["location"][position] == 1
+            assert segment.values["location"][position] == "Paris"
+
+    def test_lagging_rows_counted_and_left_to_the_daemon(self):
+        wal, store, manager = make_environment()
+        winner = manager.begin()
+        keys = [store.insert(row, now=0.0, txn_id=winner.txn_id)
+                for row in self.rows(3)]
+        manager.commit(winner)
+        store.columnarize()
+        # A chunk record whose page write never made it: every listed row
+        # still stores the accurate value at level 0.
+        from repro.storage.wal import encode_segment_degrade
+        wal.append(LogRecordType.SEGMENT_DEGRADE, 0, table="person",
+                   row_key=0, attribute="location",
+                   after=encode_segment_degrade(1, keys), timestamp=3600.0)
+        report = RecoveryManager(wal, {"person": store}).recover()
+        assert report.redone_segment_chunks == 1
+        assert report.redone_degrades == 3            # all three rows lag
+        # The values were NOT fabricated from the log (it carries no images).
+        for key in keys:
+            assert store.read(key).values["location"] == ROW["location"]
+
+    def test_segment_ids_do_not_pollute_row_key_reservation(self):
+        """SEGMENT_DEGRADE's row-key field holds a segment id (0, 1, ...);
+        it must not drag the store's row-key counter around."""
+        wal, store, manager, keys = self.make_columnar_wave(count=2)
+        store._locations.clear()
+        store.segments.clear()
+        RecoveryManager(wal, {"person": store}).recover()
+        fresh = store.insert({**ROW, "id": 99}, now=1.0, txn_id=0)
+        assert fresh == max(keys) + 1
