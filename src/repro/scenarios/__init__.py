@@ -1,0 +1,36 @@
+"""GDPR-retention scenario suite: macro-workloads over the whole engine.
+
+Models a les-emplois-style labour-inclusion platform — job seekers, employer
+companies, work approvals, employment records, applications — with per-
+attribute retention policies (generalize, suppress, remove), seeded data
+generators and a mixed op-stream driver.  A differential oracle replays the
+same stream against every engine variant (interpreted, compiled, columnar,
+remote) and demands identical results; a retention checker independently
+re-derives each attribute's mandated accuracy floor from the policy automaton
+and asserts the stores never exceed it.
+"""
+
+from .driver import DEFAULT_MIX, Op, OpResult, OpStream, ReplayReport, replay, run_op
+from .generator import InclusionGenerator, TableBatch, employee_salary
+from .inclusion import InclusionScenario, paranoid_user
+from .oracle import DifferentialOracle, Mismatch, OracleReport, format_failure, minimize_trace
+from .retention import (
+    RetentionViolation,
+    check_engine,
+    expired_employee_salaries,
+    forensic_leaks,
+    retention_report,
+)
+from .variants import VARIANT_NAMES, ScenarioVariant, build_variants
+
+__all__ = [
+    "InclusionScenario", "paranoid_user",
+    "InclusionGenerator", "TableBatch", "employee_salary",
+    "Op", "OpStream", "OpResult", "ReplayReport", "replay", "run_op",
+    "DEFAULT_MIX",
+    "DifferentialOracle", "Mismatch", "OracleReport", "minimize_trace",
+    "format_failure",
+    "RetentionViolation", "check_engine", "forensic_leaks",
+    "expired_employee_salaries", "retention_report",
+    "ScenarioVariant", "build_variants", "VARIANT_NAMES",
+]

@@ -1,0 +1,172 @@
+"""Deterministic seeded data generators for the inclusion scenario.
+
+Built on the same :class:`~repro.workloads.distributions.Distributions`
+substrate as the micro-workloads: every row of every table is a pure function
+of ``(scale, seed)``, so the four engine variants (and a crashed twin after
+recovery) load byte-identical data.  Scales from CI smoke (hundreds of rows)
+to millions — generation is streaming, nothing is materialized beyond one
+executemany batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from ..core.domains import build_diagnosis_tree, build_location_tree
+from ..workloads.distributions import Distributions
+from .inclusion import InclusionScenario
+
+_SECTORS = ("construction", "hospitality", "logistics", "retail",
+            "agriculture", "services", "industry", "care")
+
+_APPLICATION_STATUSES = ("new", "processing", "accepted", "refused")
+_APPLICATION_STATUS_WEIGHTS = (0.35, 0.3, 0.2, 0.15)
+
+_APPROVAL_STATUSES = ("valid", "expired", "suspended")
+_APPROVAL_STATUS_WEIGHTS = (0.7, 0.2, 0.1)
+
+#: Salary base keeping every employee salary unique — the forensic scan
+#: can then attribute a residual plaintext to exactly one row.
+SALARY_BASE = 1_000_000
+SALARY_STEP = 17
+
+
+def employee_salary(employee_id: int) -> int:
+    """The unique exact salary of ``employee_id`` (forensic-traceable)."""
+    return SALARY_BASE + SALARY_STEP * employee_id
+
+
+@dataclass
+class TableBatch:
+    """One executemany-sized slice of a table's rows."""
+
+    table: str
+    columns: Tuple[str, ...]
+    rows: List[Tuple[Any, ...]]
+
+    @property
+    def insert_sql(self) -> str:
+        placeholders = ", ".join("?" for _ in self.columns)
+        return (f"INSERT INTO {self.table} ({', '.join(self.columns)}) "
+                f"VALUES ({placeholders})")
+
+
+class InclusionGenerator:
+    """Generates the scenario's five tables deterministically from a seed."""
+
+    def __init__(self, scenario: InclusionScenario, seed: int = 7,
+                 zipf_skew: float = 0.8) -> None:
+        self.scenario = scenario
+        self.seed = seed
+        self.zipf_skew = zipf_skew
+        self.dist = Distributions(seed)
+        location = build_location_tree()
+        self._addresses: Sequence[str] = location.values_at_level(0) or ()
+        self._diagnoses: Sequence[str] = \
+            build_diagnosis_tree().values_at_level(0) or ()
+
+    # -- samplers shared with the op stream ----------------------------------
+
+    def sample_address(self, dist: Distributions) -> str:
+        return dist.zipf_choice(self._addresses, self.zipf_skew)
+
+    def sample_diagnosis(self, dist: Distributions) -> str:
+        return dist.zipf_choice(self._diagnoses, self.zipf_skew)
+
+    # -- per-table row generators --------------------------------------------
+
+    def companies(self) -> TableBatch:
+        dist = Distributions(self.seed * 31 + 1)
+        rows = [
+            (company_id, f"company_{company_id}",
+             self.sample_address(dist).split(", ", 1)[1],
+             dist.uniform_choice(_SECTORS))
+            for company_id in range(1, self.scenario.num_companies + 1)
+        ]
+        return TableBatch("companies", ("id", "name", "city", "sector"), rows)
+
+    def users(self) -> TableBatch:
+        dist = Distributions(self.seed * 31 + 2)
+        rows = [
+            (user_id, f"user_{user_id}", self.sample_address(dist),
+             self.sample_diagnosis(dist), dist.uniform_int(0, 365))
+            for user_id in range(1, self.scenario.num_users + 1)
+        ]
+        return TableBatch(
+            "users", ("id", "name", "address", "health_note", "signup_day"), rows)
+
+    def approvals(self) -> TableBatch:
+        dist = Distributions(self.seed * 31 + 3)
+        rows = [
+            (approval_id, dist.uniform_int(1, self.scenario.num_users),
+             f"PASS-{100000 + approval_id}", dist.uniform_int(0, 365),
+             dist.weighted_choice(_APPROVAL_STATUSES, _APPROVAL_STATUS_WEIGHTS))
+            for approval_id in range(1, self.scenario.num_approvals + 1)
+        ]
+        return TableBatch(
+            "approvals", ("id", "user_id", "number", "granted_day", "status"),
+            rows)
+
+    def employee_records(self) -> TableBatch:
+        dist = Distributions(self.seed * 31 + 4)
+        rows = [
+            (employee_id, dist.uniform_int(1, self.scenario.num_users),
+             dist.uniform_int(1, self.scenario.num_companies),
+             employee_salary(employee_id), self.sample_address(dist),
+             dist.uniform_int(0, 365))
+            for employee_id in range(1, self.scenario.num_employees + 1)
+        ]
+        return TableBatch(
+            "employee_records",
+            ("id", "user_id", "company_id", "salary", "address", "hired_day"),
+            rows)
+
+    def job_applications(self) -> TableBatch:
+        dist = Distributions(self.seed * 31 + 5)
+        rows = [
+            (app_id,
+             dist.zipf_index(self.scenario.num_users, self.zipf_skew) + 1,
+             dist.uniform_int(1, self.scenario.num_companies),
+             dist.weighted_choice(_APPLICATION_STATUSES,
+                                  _APPLICATION_STATUS_WEIGHTS),
+             self.sample_address(dist), dist.uniform_int(0, 365))
+            for app_id in range(1, self.scenario.num_applications + 1)
+        ]
+        return TableBatch(
+            "job_applications",
+            ("id", "user_id", "company_id", "status", "applicant_address",
+             "applied_day"),
+            rows)
+
+    def batches(self, batch_size: int = 500) -> Iterator[TableBatch]:
+        """Every table's rows, in FK-safe load order, chunked for executemany."""
+        for whole in (self.companies(), self.users(), self.approvals(),
+                      self.employee_records(), self.job_applications()):
+            for start in range(0, len(whole.rows), batch_size):
+                yield TableBatch(whole.table, whole.columns,
+                                 whole.rows[start:start + batch_size])
+
+    def load(self, connection: Any, batch_size: int = 500) -> Dict[str, int]:
+        """Load the whole scenario through a PEP 249 connection.
+
+        One executemany per batch (parse once, bind N, one commit) keeps the
+        load path identical for the in-process and the remote driver.
+        Returns rows loaded per table.
+        """
+        counts: Dict[str, int] = {}
+        for batch in self.batches(batch_size):
+            cursor = connection.cursor()
+            cursor.executemany(batch.insert_sql, batch.rows)
+            connection.commit()
+            counts[batch.table] = counts.get(batch.table, 0) + len(batch.rows)
+        return counts
+
+    def sensitive_salaries(self) -> Dict[int, int]:
+        """employee_id → exact salary, the forensic scan's target set."""
+        return {employee_id: employee_salary(employee_id)
+                for employee_id in range(1, self.scenario.num_employees + 1)}
+
+
+__all__ = ["InclusionGenerator", "TableBatch", "employee_salary",
+           "SALARY_BASE", "SALARY_STEP"]

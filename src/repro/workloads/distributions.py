@@ -45,6 +45,14 @@ class Distributions:
         weights = self.zipf_weights(n, skew)
         return self.random.choices(range(n), weights=weights, k=1)[0]
 
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """Sample one item with explicit (not necessarily normalized) weights."""
+        if not items or len(items) != len(weights):
+            raise ConfigurationError(
+                "weighted_choice needs one weight per item (and at least one item)"
+            )
+        return self.random.choices(list(items), weights=list(weights), k=1)[0]
+
     # -- numbers ------------------------------------------------------------------
 
     def uniform(self, low: float, high: float) -> float:

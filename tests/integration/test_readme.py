@@ -1,15 +1,17 @@
-"""The README's code blocks run verbatim.
+"""The README's (and docs') code blocks run verbatim.
 
-Every fenced ``python`` block in ``README.md`` is executed, in order, in one
-shared namespace — the quickstart, the policy example and the
-crash-recovery example are living documentation, and this test fails the
-build if they drift from the API.
+Every fenced ``python`` block in ``README.md`` — and in the executable doc
+pages listed below — is executed, in order, in one shared namespace per
+document: the quickstart, the policy example, the crash-recovery example
+and the scenario-suite walkthrough are living documentation, and this test
+fails the build if they drift from the API.
 """
 
 import re
 from pathlib import Path
 
 README = Path(__file__).resolve().parents[2] / "README.md"
+SCENARIOS_DOC = Path(__file__).resolve().parents[2] / "docs" / "scenarios.md"
 
 _BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
@@ -25,14 +27,33 @@ def test_readme_exists_with_required_sections():
     assert "docs/architecture.md" in text and "docs/durability.md" in text
 
 
-def test_readme_python_blocks_run_verbatim():
-    blocks = extract_python_blocks(README.read_text())
-    assert len(blocks) >= 3, "README should show quickstart, policy and recovery code"
+def _run_blocks(document: Path, blocks) -> None:
     namespace: dict = {"__name__": "readme"}
     for index, block in enumerate(blocks):
         try:
-            exec(compile(block, f"README.md[block {index}]", "exec"), namespace)
+            exec(compile(block, f"{document.name}[block {index}]", "exec"),
+                 namespace)
         except Exception as error:   # pragma: no cover - failure reporting
             raise AssertionError(
-                f"README code block {index} no longer runs: {error!r}\n{block}"
+                f"{document.name} code block {index} no longer runs: "
+                f"{error!r}\n{block}"
             ) from error
+
+
+def test_readme_python_blocks_run_verbatim():
+    blocks = extract_python_blocks(README.read_text())
+    assert len(blocks) >= 4, ("README should show quickstart, policy, "
+                              "recovery and scenario code")
+    _run_blocks(README, blocks)
+
+
+def test_scenarios_doc_exists_and_is_linked():
+    assert SCENARIOS_DOC.exists()
+    assert "docs/scenarios.md" in README.read_text()
+
+
+def test_scenarios_doc_python_blocks_run_verbatim():
+    blocks = extract_python_blocks(SCENARIOS_DOC.read_text())
+    assert len(blocks) >= 3, ("docs/scenarios.md should walk through the "
+                              "generator, the oracle and the checker")
+    _run_blocks(SCENARIOS_DOC, blocks)

@@ -1,0 +1,78 @@
+"""The seeded generators: determinism, scaling, FK integrity."""
+
+from repro.scenarios import InclusionGenerator, InclusionScenario, OpStream
+from repro.scenarios.generator import SALARY_BASE, SALARY_STEP, employee_salary
+from repro.scenarios.inclusion import TABLES, paranoid_user
+
+
+class TestScenarioSizing:
+    def test_sizes_scale_together(self):
+        small, big = InclusionScenario(100), InclusionScenario(10_000)
+        assert big.num_users == 100 * small.num_users
+        assert big.num_applications == 2 * big.num_users
+        assert big.num_companies > small.num_companies
+        assert big.num_employees > small.num_employees
+
+    def test_paranoid_subset_is_deterministic(self):
+        scenario = InclusionScenario(200)
+        subset = scenario.paranoid_users()
+        assert subset == [uid for uid in range(1, 201) if paranoid_user(uid)]
+        assert 0 < len(subset) < 200
+
+
+class TestDeterminism:
+    def test_same_seed_same_rows(self):
+        scenario = InclusionScenario(80)
+        first = InclusionGenerator(scenario, seed=13)
+        second = InclusionGenerator(scenario, seed=13)
+        for table in (first.users(), first.job_applications()):
+            twin = {"users": second.users,
+                    "job_applications": second.job_applications}[table.table]()
+            assert table.rows == twin.rows
+
+    def test_different_seed_different_rows(self):
+        scenario = InclusionScenario(80)
+        a = InclusionGenerator(scenario, seed=13).users()
+        b = InclusionGenerator(scenario, seed=14).users()
+        assert a.rows != b.rows
+
+    def test_op_stream_is_deterministic(self):
+        scenario = InclusionScenario(80)
+        ops_a = OpStream(scenario, seed=21, count=120).ops()
+        ops_b = OpStream(scenario, seed=21, count=120).ops()
+        assert ops_a == ops_b
+        assert OpStream(scenario, seed=22, count=120).ops() != ops_a
+
+
+class TestRowShape:
+    def test_batches_follow_fk_safe_order(self):
+        scenario = InclusionScenario(50)
+        generator = InclusionGenerator(scenario, seed=5)
+        order = []
+        for batch in generator.batches(batch_size=16):
+            if not order or order[-1] != batch.table:
+                order.append(batch.table)
+        assert tuple(order) == TABLES
+
+    def test_foreign_keys_resolve(self):
+        scenario = InclusionScenario(60)
+        generator = InclusionGenerator(scenario, seed=5)
+        users = {row[0] for row in generator.users().rows}
+        companies = {row[0] for row in generator.companies().rows}
+        for row in generator.job_applications().rows:
+            assert row[1] in users and row[2] in companies
+        for row in generator.employee_records().rows:
+            assert row[1] in users and row[2] in companies
+
+    def test_salaries_are_unique_and_traceable(self):
+        scenario = InclusionScenario(90)
+        generator = InclusionGenerator(scenario, seed=5)
+        salaries = generator.sensitive_salaries()
+        assert len(set(salaries.values())) == scenario.num_employees
+        assert salaries[1] == SALARY_BASE + SALARY_STEP
+        assert all(employee_salary(eid) == s for eid, s in salaries.items())
+
+    def test_insert_sql_matches_columns(self):
+        batch = InclusionGenerator(InclusionScenario(20), seed=5).companies()
+        assert batch.insert_sql.count("?") == len(batch.columns)
+        assert batch.insert_sql.startswith("INSERT INTO companies ")

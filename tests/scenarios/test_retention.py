@@ -1,0 +1,105 @@
+"""The retention invariant checker, exercised both ways.
+
+Negative direction: a healthy engine must show zero violations at any clock.
+Positive direction: a wedged degradation daemon (steps due but unapplied) must
+be *caught* — the checker derives the accuracy floor from the policy automaton
+itself, so a silently-stalled pipeline cannot hide.
+"""
+
+from repro.privacy.forensic import scan_engine
+from repro.scenarios import (
+    InclusionGenerator,
+    InclusionScenario,
+    ScenarioVariant,
+    check_engine,
+    expired_employee_salaries,
+    forensic_leaks,
+    retention_report,
+)
+from repro.scenarios.inclusion import paranoid_user
+
+DAY = 86400.0
+
+
+def build_loaded_engine(scale=40, seed=9):
+    variant = ScenarioVariant("compiled", InclusionScenario(scale))
+    generator = InclusionGenerator(variant.scenario, seed=seed)
+    generator.load(variant.connection)
+    return variant, generator
+
+
+class TestCheckerNegative:
+    def test_fresh_load_has_no_violations(self, close_all):
+        variant, _ = build_loaded_engine()
+        close_all(variant)
+        assert check_engine(variant.engine) == []
+
+    def test_healthy_engine_stays_clean_across_waves(self, close_all):
+        variant, generator = build_loaded_engine()
+        close_all(variant)
+        for _ in range(6):
+            variant.advance(3.3 * DAY)
+            assert check_engine(variant.engine) == []
+        report = retention_report(variant.engine,
+                                  generator.sensitive_salaries())
+        assert report == {"violations": 0, "leaks": 0}
+
+
+class TestCheckerPositive:
+    def test_wedged_daemon_is_caught(self, close_all):
+        variant, _ = build_loaded_engine()
+        close_all(variant)
+        variant.engine.daemon.pause()
+        variant.advance(5 * DAY)       # steps come due but cannot apply
+        violations = check_engine(variant.engine)
+        assert violations, "stalled degradation must violate the invariant"
+        sample = violations[0]
+        assert sample.stored_level < sample.required_level
+        assert "mandates" in sample.describe()
+        # resuming the daemon drains the backlog and restores the invariant
+        variant.engine.daemon.resume()
+        variant.advance(0)
+        assert check_engine(variant.engine) == []
+
+    def test_paranoid_rows_are_held_to_the_stricter_floor(self, close_all):
+        variant, _ = build_loaded_engine(scale=60)
+        close_all(variant)
+        variant.engine.daemon.pause()
+        # 12 hours: only the paranoid cadence ("4 hours") has a step due yet.
+        variant.advance(0.5 * DAY)
+        violations = check_engine(variant.engine)
+        assert violations
+        assert {v.table for v in violations} == {"job_applications"}
+        store = variant.engine.stores["job_applications"]
+        flagged = {v.row_key for v in violations}
+        for stored in store.scan():
+            if stored.row_key in flagged:
+                assert paranoid_user(stored.values["user_id"])
+
+
+class TestForensicSurface:
+    def test_live_salaries_are_recoverable_expired_ones_are_not(self, close_all):
+        variant, generator = build_loaded_engine(scale=30)
+        close_all(variant)
+        salaries = generator.sensitive_salaries()
+        # Positive control: fresh exact salaries do live in the raw bytes.
+        live = list(salaries.values())[:5]
+        assert scan_engine(variant.engine, live).residual_values
+        assert expired_employee_salaries(variant.engine, salaries) == []
+        # Past the first transition every exact salary is expired — and gone.
+        variant.advance(3 * DAY)
+        expired = expired_employee_salaries(variant.engine, salaries)
+        assert expired
+        assert forensic_leaks(variant.engine, expired) == 0
+
+    def test_removed_rows_count_as_expired(self, close_all):
+        variant, generator = build_loaded_engine(scale=30)
+        close_all(variant)
+        salaries = generator.sensitive_salaries()
+        variant.advance(120 * DAY)     # employee_records fully removed
+        rows = variant.execute(
+            "SELECT id FROM employee_records").fetchall()
+        assert rows == []
+        expired = expired_employee_salaries(variant.engine, salaries)
+        assert len(expired) == min(50, len(salaries))
+        assert forensic_leaks(variant.engine, expired) == 0
