@@ -74,6 +74,14 @@ from .api import (
     paramstyle,
     threadsafety,
 )
+from .core.errors import (
+    ConnectionPoisonedError,
+    DurabilityError,
+    OverloadError,
+    ReadOnlyModeError,
+    RetryableError,
+    StatementTimeoutError,
+)
 from .core import (
     DAY,
     HOUR,
@@ -100,6 +108,7 @@ from .core import (
     duration,
 )
 from .engine import InstantDB
+from .faults import FaultPlan
 from .query.executor import QueryResult
 
 __version__ = "1.1.0"
@@ -138,6 +147,14 @@ __all__ = [
     "ValueType",
     "SimulatedClock",
     "InstantDBError",
+    # fault injection and hardening (docs/faults.md)
+    "FaultPlan",
+    "DurabilityError",
+    "ReadOnlyModeError",
+    "RetryableError",
+    "OverloadError",
+    "StatementTimeoutError",
+    "ConnectionPoisonedError",
     "SUPPRESSED",
     "NULL",
     "duration",

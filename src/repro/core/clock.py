@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, List, Optional
 
+from ..faults import FaultPlan
 from .errors import ConfigurationError
 
 #: Number of seconds in the units used by the paper's example policies.
@@ -138,6 +139,11 @@ class SimulatedClock(Clock):
     """
 
     start: float = 0.0
+    #: Optional fault plan: a ``clock.advance`` rule of kind ``"skip"`` makes
+    #: this advancement jump *further* than asked (``seconds`` param, default
+    #: six hours) — time leaps straight past wave deadlines, exactly the skew
+    #: a suspended VM or an NTP step inflicts on a wall-clock daemon.
+    faults: Optional[FaultPlan] = None
     _now: float = field(init=False)
     _observers: List[Callable[[float], None]] = field(init=False, default_factory=list)
 
@@ -159,6 +165,10 @@ class SimulatedClock(Clock):
             delta += duration(value, unit.rstrip("s") if unit not in _UNIT_SECONDS else unit)
         if delta < 0:
             raise ConfigurationError("cannot move a clock backwards")
+        if self.faults is not None:
+            event = self.faults.fire("clock.advance")
+            if event is not None and event.kind == "skip":
+                delta += float(event.param("seconds", 6 * HOUR))
         self._now += delta
         for observer in list(self._observers):
             observer(self._now)

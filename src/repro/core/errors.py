@@ -187,6 +187,49 @@ class RecoveryError(InstantDBError, OperationalError):
     """Crash recovery failed or would resurrect degraded data."""
 
 
+class DurabilityError(StorageError):
+    """A durability-critical I/O operation failed (fsync error, torn write,
+    ENOSPC on a WAL append or pager sync).
+
+    The in-flight transaction is aborted cleanly and the engine flips into a
+    read-only degraded mode (see :class:`ReadOnlyModeError`); reads keep
+    working, but nothing further is promised durable until the database is
+    reopened and recovered.  The on-disk WAL prefix up to the last successful
+    flush stays valid — recovery never replays past it."""
+
+
+class ReadOnlyModeError(DurabilityError):
+    """A write was attempted while the engine is in read-only degraded mode
+    (entered after a :class:`DurabilityError`; cleared by reopen + recover)."""
+
+
+class RetryableError(InstantDBError, OperationalError):
+    """Transient server-side condition; the *same* request may succeed if
+    retried after a backoff.  The remote driver retries these automatically
+    at transaction boundaries."""
+
+    #: Drivers inspect this instead of the class so the flag survives the
+    #: wire protocol's by-name exception mapping.
+    retryable = True
+
+
+class OverloadError(RetryableError):
+    """The server shed the request at admission (session table full or queue
+    saturated).  Retry after a backoff."""
+
+
+class StatementTimeoutError(RetryableError):
+    """A statement exceeded the server's per-statement timeout budget.  The
+    session is closed (the engine thread cannot be interrupted mid-statement);
+    reconnect and retry."""
+
+
+class ConnectionPoisonedError(InterfaceError):
+    """The remote connection consumed part of a frame and can no longer
+    delimit the byte stream (mid-frame timeout or short read).  Every
+    subsequent call on the connection raises this; reconnect to continue."""
+
+
 #: The PEP 249 names re-exported by :mod:`repro` and :mod:`repro.api`.
 PEP249_EXCEPTIONS = (
     "Warning", "Error", "InterfaceError", "DatabaseError", "DataError",

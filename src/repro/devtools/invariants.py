@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 #: Keep this tuple in sync with docs/invariants.md.
 LOCK_HIERARCHY: Tuple[str, ...] = (
     "server.sessions",
+    "faults.plan",
 )
 
 

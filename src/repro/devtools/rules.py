@@ -364,13 +364,114 @@ class NoSwallowedAbortRule(Rule):
         return True
 
 
+# -------------------------------------------------------- no-swallowed-io-error
+
+
+class NoSwallowedIOErrorRule(NoSwallowedAbortRule):
+    """No ``except`` that traps an I/O failure around real I/O and drops it.
+
+    A swallowed ``OSError`` around a WAL append, pager sync, or socket
+    exchange turns a durability violation into silence: the caller believes
+    bytes are on disk (or on the wire) that never arrived.  The engine's
+    contract is that storage I/O failures surface as typed
+    ``DurabilityError`` and transport failures poison the connection — so a
+    trivially-dropping handler is flagged whenever (a) it catches an I/O
+    error class and (b) the guarded ``try`` body performs an I/O call.
+    Genuinely best-effort spots (closing an already-dead socket, repairing a
+    torn tail while propagating the original error) must carry an explicit
+    ``# reprolint: disable=no-swallowed-io-error -- why`` suppression.
+
+    Inherits the triviality analysis from :class:`NoSwallowedAbortRule`: a
+    handler that re-raises, uses the bound exception, or does real work is
+    never flagged.
+    """
+
+    name = "no-swallowed-io-error"
+    description = ("except clause swallows OSError/DurabilityError around "
+                   "WAL/pager/socket I/O without re-raise or handling")
+
+    IO_ERROR_TYPES = frozenset({
+        "OSError", "IOError", "DurabilityError", "ConnectionError",
+        "ConnectionResetError", "ConnectionAbortedError", "BrokenPipeError",
+        "TimeoutError", "timeout",
+    })
+    #: Method / function names whose call marks a try body as doing I/O.
+    IO_CALLS = frozenset({
+        "fsync", "fdatasync", "flush", "write", "truncate", "unlink",
+        "rename", "replace", "open",
+        "sendall", "send", "recv", "recv_into", "connect",
+        "create_connection", "close",
+    })
+
+    def check(self, path: str, tree: ast.AST, source: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Try):
+                continue
+            touches_io = self._touches_io(node.body)
+            for handler in node.handlers:
+                caught = self._caught_io(handler.type)
+                if caught is None:
+                    continue
+                # DurabilityError is typed I/O failure wherever it is caught;
+                # the OSError family needs I/O evidence in the try body.
+                if caught != "DurabilityError" and not touches_io:
+                    continue
+                if any(isinstance(sub, ast.Raise)
+                       for stmt in handler.body for sub in ast.walk(stmt)):
+                    continue
+                if handler.name and self._uses_name(handler.body,
+                                                    handler.name):
+                    continue
+                if not self._trivial_body(handler.body):
+                    continue
+                findings.append(self.finding(
+                    path, handler,
+                    f"except {caught} around I/O swallows the failure; "
+                    "durability and transport errors are load-bearing — "
+                    "handle, re-raise, or suppress with a reprolint comment "
+                    "stating why the drop is safe"))
+        return findings
+
+    def _caught_io(self, node: Optional[ast.AST]) -> Optional[str]:
+        if node is None:
+            return None            # bare except is the abort rule's business
+        candidates: Iterable[ast.AST]
+        if isinstance(node, ast.Tuple):
+            candidates = node.elts
+        else:
+            candidates = (node,)
+        for candidate in candidates:
+            if (isinstance(candidate, ast.Name)
+                    and candidate.id in self.IO_ERROR_TYPES):
+                return candidate.id
+            if (isinstance(candidate, ast.Attribute)
+                    and candidate.attr in self.IO_ERROR_TYPES):
+                return candidate.attr
+        return None
+
+    def _touches_io(self, body: List[ast.stmt]) -> bool:
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                name = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else None)
+                if name in self.IO_CALLS:
+                    return True
+        return False
+
+
 PER_FILE_RULES = (
     SentinelIdentityRule,
     ExecutorConfinementRule,
     LockDisciplineRule,
     NoSwallowedAbortRule,
+    NoSwallowedIOErrorRule,
 )
 
 __all__ = ["Rule", "attribute_chain", "SentinelIdentityRule",
            "ExecutorConfinementRule", "LockDisciplineRule",
-           "NoSwallowedAbortRule", "PER_FILE_RULES"]
+           "NoSwallowedAbortRule", "NoSwallowedIOErrorRule",
+           "PER_FILE_RULES"]

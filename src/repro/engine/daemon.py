@@ -48,6 +48,9 @@ class DaemonStats:
     batches: int = 0
     #: Steps applied by post-recovery catch-up drains (overdue at restart).
     catch_up_steps: int = 0
+    #: Steps pushed back onto the schedule because their wave hit a transient
+    #: durability fault; they retry with exponential backoff.
+    steps_deferred_by_fault: int = 0
 
 
 class DegradationDaemon:

@@ -40,11 +40,14 @@ from ..core.errors import (
     CatalogError,
     ConfigurationError,
     DeadlockError,
+    DurabilityError,
     ExecutionError,
     ParameterError,
     PolicyError,
+    ReadOnlyModeError,
     TransactionAborted,
 )
+from ..faults import FaultPlan
 from ..core.generalization import GeneralizationScheme
 from ..core.lcp import AttributeLCP, TupleLCP
 from ..core.policy import AccuracyRequirement, Purpose, TablePolicy
@@ -77,6 +80,12 @@ from ..storage.wal import (
 from ..txn.recovery import RecoveryManager, RecoveryReport, ScheduleReplayReport
 from ..txn.transaction import Transaction, TransactionManager
 from . import ddl
+from .catalog_io import (
+    encode_catalog,
+    latest_catalog_snapshot,
+    restore_catalog,
+    snapshot_catalog,
+)
 from .daemon import DegradationDaemon
 
 #: Back-off applied when a degradation step hits a lock conflict.
@@ -133,6 +142,12 @@ class EngineStats:
     degradation_steps_applied: int = 0
     degradation_conflicts: int = 0
     checkpoints: int = 0
+    #: Durability-critical I/O failures observed (each one flips — or finds —
+    #: the engine in read-only degraded mode, except daemon wave faults which
+    #: retry instead).
+    durability_failures: int = 0
+    #: Degradation waves pushed back by a transient durability fault.
+    degradation_waves_faulted: int = 0
 
 
 class InstantDB:
@@ -146,18 +161,26 @@ class InstantDB:
                  deterministic_crypto: bool = True,
                  batch_degradation: bool = True,
                  degradation_max_batch: Optional[int] = None,
-                 read_path_optimizations: bool = True) -> None:
+                 read_path_optimizations: bool = True,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.clock: Clock = make_clock(clock) if isinstance(clock, str) else clock
         self.strategy = strategy
+        #: Optional fault-injection schedule threaded through every I/O seam
+        #: (WAL flush/rewrite, pager sync, simulated-clock skips); ``None``
+        #: (the default) compiles every hook down to a no-op branch.
+        self.faults = fault_plan
+        if fault_plan is not None and isinstance(self.clock, SimulatedClock):
+            self.clock.faults = fault_plan
         pager_path = None
         wal_path = None
         if data_dir is not None:
             os.makedirs(data_dir, exist_ok=True)
             pager_path = os.path.join(data_dir, "pages.db")
             wal_path = os.path.join(data_dir, "wal.log")
-        self.pager = open_pager(pager_path, page_size=page_size)
+        self.pager = open_pager(pager_path, page_size=page_size,
+                                faults=fault_plan)
         self.buffer_pool = BufferPool(self.pager, capacity=buffer_capacity)
-        self.wal = WriteAheadLog(wal_path)
+        self.wal = WriteAheadLog(wal_path, faults=fault_plan)
         self.keystore = KeyStore(deterministic_seed=b"instantdb" if deterministic_crypto else None)
         self.catalog = Catalog()
         self.registry = self.catalog.registry
@@ -173,6 +196,10 @@ class InstantDB:
             self.catalog.statistics = self.statistics
         self.catalog.read_optimized = read_path_optimizations
         self.transactions = TransactionManager(self.wal)
+        # An abort whose undo hit the failing device leaves the in-memory
+        # image possibly stale; degrade until recover() rebuilds it from disk.
+        self.transactions.on_undo_failure = (
+            lambda exc: self._enter_read_only(f"undo failure: {exc}"))
         self.scheduler = DegradationScheduler()
         self.stores: Dict[str, TableStore] = {}
         self._tuple_lcps: Dict[Tuple[str, int], TupleLCP] = {}
@@ -189,13 +216,117 @@ class InstantDB:
             max_batch=degradation_max_batch,
         )
         self.stats = EngineStats()
+        #: Why the engine is in read-only degraded mode (``None`` = writable).
+        self._read_only_reason: Optional[str] = None
+        #: DDL state changed since the last CATALOG record was logged.
+        self._catalog_dirty = False
+        #: Sticky: a registered scheme has no structural serialization
+        #: (custom subclass) — catalog logging is off and reopening falls
+        #: back to the legacy protocol (re-run DDL, then recover()).
+        self._catalog_unserializable = False
+        #: Per-table consecutive durability-fault count driving the
+        #: exponential retry backoff of degradation waves.
+        self._fault_backoff: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ degraded mode
+
+    @property
+    def read_only(self) -> bool:
+        """True while the engine is in read-only degraded mode."""
+        return self._read_only_reason is not None
+
+    @property
+    def read_only_reason(self) -> Optional[str]:
+        return self._read_only_reason
+
+    def _require_writable(self) -> None:
+        if self._read_only_reason is not None:
+            raise ReadOnlyModeError(
+                "engine is in read-only degraded mode after a durability "
+                f"failure ({self._read_only_reason}); reads still work — "
+                "reopen the database and recover() to resume writes"
+            )
+
+    def _enter_read_only(self, reason: str) -> None:
+        """Flip into read-only degraded mode (sticky until :meth:`recover`).
+
+        The WAL refused to make some write durable, so the safe reaction is
+        to stop accepting new writes: everything already committed is durable,
+        the failed transaction is aborted, and the heap can never diverge
+        from what the log proves.
+        """
+        self.stats.durability_failures += 1
+        if self._read_only_reason is None:
+            self._read_only_reason = reason
+
+    def _on_durability_failure(self, txn: Transaction, exc: DurabilityError) -> None:
+        """Commit-path durability failure: degrade the engine, abort cleanly.
+
+        The commit flush failed *before* the transaction was marked committed,
+        so aborting runs its undo actions and the in-memory state matches the
+        on-disk log (which holds no durable COMMIT for it).  The abort's own
+        flush failure is tolerated by the transaction manager.
+        """
+        self._enter_read_only(str(exc))
+        if self.transactions.is_active(txn.txn_id):
+            self.transactions.abort(txn, now=self.clock.now(),
+                                    reason=f"durability failure: {exc}")
+
+    def _commit_txn(self, txn: Transaction) -> None:
+        """Commit ``txn``, logging pending DDL state and handling I/O faults."""
+        now = self.clock.now()
+        self._append_catalog_if_dirty(now)
+        try:
+            self.transactions.commit(txn, now=now)
+        except DurabilityError as exc:
+            self._on_durability_failure(txn, exc)
+            raise
+
+    def _flush_wal(self) -> None:
+        """Flush the WAL outside a commit, degrading the engine on failure."""
+        try:
+            self.wal.flush()
+        except DurabilityError as exc:
+            self._enter_read_only(str(exc))
+            raise
+
+    def _append_catalog_if_dirty(self, now: float) -> None:
+        """Log a CATALOG record when DDL state changed since the last one.
+
+        Appended (buffered) just before a commit's durable flush, so catalog
+        changes become durable with the transaction that first builds on
+        them; :meth:`checkpoint` logs one unconditionally so WAL truncation
+        never loses the catalog.
+        """
+        if not self._catalog_dirty:
+            return
+        payload = self._encode_catalog_snapshot()
+        self._catalog_dirty = False
+        if payload is not None:
+            self.wal.append(LogRecordType.CATALOG, 0, after=payload,
+                            timestamp=now)
+
+    def _encode_catalog_snapshot(self) -> Optional[bytes]:
+        """The encoded catalog document, or ``None`` when some registered
+        scheme is a custom subclass without a structural serialization — the
+        engine then simply never logs CATALOG records and reopening uses the
+        legacy protocol (caller re-runs DDL before :meth:`recover`)."""
+        if self._catalog_unserializable:
+            return None
+        try:
+            return encode_catalog(snapshot_catalog(self))
+        except CatalogError:
+            self._catalog_unserializable = True
+            return None
 
     # ------------------------------------------------------------------ domains
 
     def register_domain(self, scheme: GeneralizationScheme,
                         name: Optional[str] = None) -> GeneralizationScheme:
         """Register a generalization scheme under ``name`` (defaults to its own)."""
-        return self.registry.register_domain(scheme, name=name)
+        registered = self.registry.register_domain(scheme, name=name)
+        self._catalog_dirty = True
+        return registered
 
     def register_policy(self, policy: Optional[AttributeLCP] = None, *,
                         domain: Optional[str] = None,
@@ -216,11 +347,15 @@ class InstantDB:
             scheme = self.registry.domain(domain)
             policy = AttributeLCP(scheme, states=states, transitions=transitions,
                                   name=name or f"{domain}_lcp")
-        return self.registry.register_policy(policy, name=name)
+        registered = self.registry.register_policy(policy, name=name)
+        self._catalog_dirty = True
+        return registered
 
     def define_purpose(self, purpose: Purpose) -> Purpose:
         """Register a purpose built through the Python API."""
-        return self.catalog.add_purpose(purpose)
+        added = self.catalog.add_purpose(purpose)
+        self._catalog_dirty = True
+        return added
 
     def purpose(self, name: str) -> Purpose:
         return self.catalog.purpose(name)
@@ -230,16 +365,40 @@ class InstantDB:
     def create_table(self, schema: TableSchema, remove_on_final: bool = True,
                      selector_column: Optional[str] = None) -> TableStore:
         """Create a table from a Python :class:`TableSchema`."""
+        self._require_writable()
         policy = ddl.build_table_policy(schema, self.registry,
                                         remove_on_final=remove_on_final)
         if policy is not None and selector_column is not None:
             policy.selector_column = selector_column.lower()
+        store = self._attach_recovered_table(schema, policy)
+        self._catalog_dirty = True
+        return store
+
+    def _attach_recovered_table(self, schema: TableSchema,
+                                policy: Optional[TablePolicy]) -> TableStore:
+        """Wire a table's runtime objects without marking the catalog dirty
+        (shared by :meth:`create_table` and catalog restore on recovery)."""
         self.catalog.add_table(schema, policy)
         self.statistics.register(schema)
         store = TableStore(schema, self.buffer_pool, self.wal,
                            keystore=self.keystore, strategy=self.strategy)
         self.stores[schema.name] = store
         return store
+
+    def _attach_recovered_index(self, table: str, name: str, column: str,
+                                method: str) -> None:
+        """Recreate an index structure from catalog-restore metadata.
+
+        The structure starts empty; :meth:`_rebuild_indexes` fills it from
+        the recovered heap later in the recovery sequence.
+        """
+        info = self.catalog.table(table)
+        statement = ast.CreateIndex(name=name, table=table, column=column,
+                                    method=method)
+        index = ddl.build_index(statement, info.schema, self.registry)
+        self.catalog.add_index(IndexInfo(name=name, table=table,
+                                         column=column.lower(),
+                                         method=method.lower(), index=index))
 
     def table_store(self, name: str) -> TableStore:
         return self._store_for(name)
@@ -259,6 +418,7 @@ class InstantDB:
         name = table.lower()
         self._store_for(name).columnarize()
         self.catalog.set_columnar(name)
+        self._catalog_dirty = True
 
     def table_policy(self, name: str) -> Optional[TablePolicy]:
         return self.catalog.table(name).policy
@@ -270,6 +430,7 @@ class InstantDB:
         if policy is None:
             raise PolicyError(f"table {table!r} has no degradable columns")
         policy.register_override(selector_value, policies)
+        self._catalog_dirty = True
 
     def _store_for(self, table: str) -> TableStore:
         try:
@@ -304,9 +465,10 @@ class InstantDB:
         """
         now = self.clock.now()
         if self.scheduler.has_waiters(event):
+            self._require_writable()
             self.wal.append(LogRecordType.SCHED_EVENT, 0, attribute=event,
                             timestamp=now)
-            self.wal.flush()
+            self._flush_wal()
             self.scheduler.fire_event(event, now)
         return self.daemon.run_pending(now)
 
@@ -319,7 +481,7 @@ class InstantDB:
 
     def commit(self, txn: Transaction) -> None:
         invariants.assert_engine_thread(self)
-        self.transactions.commit(txn, now=self.clock.now())
+        self._commit_txn(txn)
 
     def rollback(self, txn: Transaction) -> None:
         invariants.assert_engine_thread(self)
@@ -399,7 +561,7 @@ class InstantDB:
                 self.transactions.abort(active, now=self.clock.now())
             raise
         if own_txn:
-            self.transactions.commit(active, now=self.clock.now())
+            self._commit_txn(active)
         return total
 
     def execute_script(self, sql: str, purpose: Union[None, str, Purpose] = None) -> List[Any]:
@@ -499,7 +661,7 @@ class InstantDB:
                 self.transactions.abort(active, now=self.clock.now())
             raise
         if own_txn:
-            self.transactions.commit(active, now=self.clock.now())
+            self._commit_txn(active)
         return result
 
     def _plan_select(self, statement: ast.Select, purpose: Optional[Purpose],
@@ -624,6 +786,7 @@ class InstantDB:
 
     def insert_row(self, table: str, row: Any, txn: Optional[Transaction] = None) -> int:
         """Insert one row (Python API); returns the logical row key."""
+        self._require_writable()
         table = table.lower()
         info = self.catalog.table(table)
         store = self._store_for(table)
@@ -663,7 +826,7 @@ class InstantDB:
                 self.transactions.abort(active, now=now)
             raise
         if own_txn:
-            self.transactions.commit(active, now=now)
+            self._commit_txn(active)
         self.stats.rows_inserted += 1
         return row_key
 
@@ -683,6 +846,7 @@ class InstantDB:
 
     def _execute_update(self, statement: ast.Update, purpose: Optional[Purpose],
                         txn: Optional[Transaction]) -> int:
+        self._require_writable()
         table = statement.table.lower()
         info = self.catalog.table(table)
         store = self._store_for(table)
@@ -714,12 +878,13 @@ class InstantDB:
                 self.transactions.abort(active, now=now)
             raise
         if own_txn:
-            self.transactions.commit(active, now=now)
+            self._commit_txn(active)
         self.stats.rows_updated += count
         return count
 
     def _execute_delete(self, statement: ast.Delete, purpose: Optional[Purpose],
                         txn: Optional[Transaction]) -> int:
+        self._require_writable()
         table = statement.table.lower()
         now = self.clock.now()
         own_txn = txn is None
@@ -735,7 +900,7 @@ class InstantDB:
                 self.transactions.abort(active, now=now)
             raise
         if own_txn:
-            self.transactions.commit(active, now=now)
+            self._commit_txn(active)
         self.stats.rows_deleted += count
         return count
 
@@ -752,6 +917,7 @@ class InstantDB:
     # ------------------------------------------------------------------ DDL helpers
 
     def _execute_create_index(self, statement: ast.CreateIndex) -> None:
+        self._require_writable()
         table = statement.table.lower()
         info = self.catalog.table(table)
         index = ddl.build_index(statement, info.schema, self.registry)
@@ -759,6 +925,7 @@ class InstantDB:
                                column=statement.column.lower(),
                                method=statement.method.lower(), index=index)
         self.catalog.add_index(index_info)
+        self._catalog_dirty = True
         store = self._store_for(table)
         column = statement.column.lower()
         for stored in store.scan():
@@ -775,8 +942,10 @@ class InstantDB:
                                                    column=column, method=method))
 
     def _execute_drop_table(self, statement: ast.DropTable) -> None:
+        self._require_writable()
         table = statement.table.lower()
         self.catalog.drop_table(table)
+        self._catalog_dirty = True
         self.statistics.drop(table)
         store = self.stores.pop(table, None)
         if store is not None:
@@ -792,7 +961,8 @@ class InstantDB:
         # old-epoch removals against it would delete committed rows).
         self.wal.append(LogRecordType.TABLE_DROP, 0, table=table,
                         timestamp=self.clock.now())
-        self.wal.flush()
+        self._append_catalog_if_dirty(self.clock.now())
+        self._flush_wal()
 
     def _execute_declare_purpose(self, statement: ast.DeclarePurpose) -> Purpose:
         purpose = Purpose(statement.name)
@@ -800,7 +970,9 @@ class InstantDB:
             purpose.add_requirement(AccuracyRequirement(
                 table=clause.table, column=clause.column, level=clause.level
             ))
-        return self.catalog.add_purpose(purpose)
+        added = self.catalog.add_purpose(purpose)
+        self._catalog_dirty = True
+        return added
 
     # ------------------------------------------------------------------ index maintenance
 
@@ -839,6 +1011,11 @@ class InstantDB:
 
     def _apply_degradation_step(self, step: DegradationStep) -> bool:
         table, row_key = step.record_id
+        if self._read_only_reason is not None:
+            # Read-only degraded mode: no new WAL records, so push the step
+            # forward; the post-recovery catch-up drain applies the backlog.
+            self._defer_faulted(table, [step], None, self.clock.now())
+            return False
         store = self._store_for(table)
         if not store.exists(row_key):
             self.scheduler.cancel(step.record_id)
@@ -885,10 +1062,18 @@ class InstantDB:
                     [(row_key, step.attribute, step.to_state, step.due)]),
                 timestamp=now,
             )
+        except DurabilityError:
+            self._defer_faulted(table, [step], txn, now)
+            return False
         except BaseException:
             self.transactions.abort(txn, now=now)
             raise
-        self.transactions.commit(txn, now=now)
+        try:
+            self.transactions.commit(txn, now=now)
+        except DurabilityError:
+            self._defer_faulted(table, [step], txn, now)
+            return False
+        self._fault_backoff.pop(table, None)
         self.stats.degradation_steps_applied += 1
         return True
 
@@ -916,6 +1101,40 @@ class InstantDB:
         for step in steps:
             self.scheduler.defer(step, until)
 
+    def _defer_faulted(self, table: str, steps: List[DegradationStep],
+                       txn: Optional[Transaction], now: float) -> None:
+        """Transient durability fault in a degradation wave: retry later.
+
+        Unlike a failed user commit (which flips the engine read-only), a
+        faulted wave is *re-queued* with per-table exponential backoff — the
+        timeliness promise degrades gracefully instead of halting, and the
+        retried wave re-applies idempotently (degradation is monotone, and
+        any effect the failed wave left in memory converges with the log
+        through recovery's schedule replay).  ``txn is None`` means the
+        engine is already read-only and no WAL records may be written.
+        """
+        attempts = self._fault_backoff.get(table, 0)
+        self._fault_backoff[table] = attempts + 1
+        until = now + _CONFLICT_RETRY_SECONDS * (2 ** min(attempts, 8))
+        if txn is not None:
+            entries = [(step.record_id[1], step.attribute, step.from_state,
+                        step.due, until) for step in steps]
+            for start in range(0, len(entries), _SCHED_RECORD_CHUNK):
+                # Buffered only: these ride the next healthy flush.
+                self.wal.append(
+                    LogRecordType.SCHED_DEFER, 0, table=table,
+                    after=encode_schedule_defers(
+                        entries[start:start + _SCHED_RECORD_CHUNK]),
+                    timestamp=now,
+                )
+            if self.transactions.is_active(txn.txn_id):
+                self.transactions.abort(txn, now=now,
+                                        reason="degradation durability fault")
+        self.daemon.stats.steps_deferred_by_fault += len(steps)
+        self.stats.degradation_waves_faulted += 1
+        for step in steps:
+            self.scheduler.defer(step, until)
+
     def _apply_degradation_batch(self, table: str,
                                  steps: List[DegradationStep]) -> List[DegradationStep]:
         """Apply one table's worth of due steps as one batch.
@@ -927,6 +1146,9 @@ class InstantDB:
         deferred and retried after the conflicting transaction finishes.
         Returns the steps that were applied.
         """
+        if self._read_only_reason is not None:
+            self._defer_faulted(table, steps, None, self.clock.now())
+            return []
         store = self._store_for(table)
         live: List[DegradationStep] = []
         for step in steps:
@@ -1018,10 +1240,18 @@ class InstantDB:
                         entries[start:start + _SCHED_RECORD_CHUNK]),
                     timestamp=now,
                 )
+        except DurabilityError:
+            self._defer_faulted(table, live, txn, now)
+            return []
         except BaseException:
             self.transactions.abort(txn, now=now)
             raise
-        self.transactions.commit(txn, now=now)
+        try:
+            self.transactions.commit(txn, now=now)
+        except DurabilityError:
+            self._defer_faulted(table, live, txn, now)
+            return []
+        self._fault_backoff.pop(table, None)
         self.stats.degradation_steps_applied += len(live)
         return live
 
@@ -1093,25 +1323,41 @@ class InstantDB:
         restores the snapshot then replays only the schedule records behind
         the marker.
         """
+        self._require_writable()
         now = self.clock.now()
-        for store in self.stores.values():
-            store.flush()
+        try:
+            for store in self.stores.values():
+                store.flush()  # drains each heap's buffer pool to the pager
+            self.pager.sync()
+        except DurabilityError as exc:
+            self._enter_read_only(str(exc))
+            raise
+        # The catalog snapshot is appended FIRST: truncation keeps from this
+        # record on, so the log always carries the DDL state a bare recover()
+        # needs, even after every older record is dropped.  (Engines with
+        # unserializable custom schemes skip it and keep the legacy re-run-DDL
+        # reopen protocol; truncation then anchors on the schedule snapshot.)
+        anchor = None
+        payload = self._encode_catalog_snapshot()
+        if payload is not None:
+            anchor = self.wal.append(LogRecordType.CATALOG, 0, after=payload,
+                                     timestamp=now)
+        self._catalog_dirty = False
         # Snapshot chunks first (one record per chunk — large queues exceed
         # the record codec's field cap), then the CHECKPOINT marker: in an
         # append-only log a torn tail chops everything from the first torn
         # record on, so a surviving marker *proves* its chunks survived too.
         # Recovery treats the marker as the snapshot's commit record and
         # falls back to the previous checkpoint when it is missing.
-        first_chunk_lsn = None
         for chunk in self.scheduler.snapshot(now).chunked():
-            chunk_record = self.wal.append(
+            record = self.wal.append(
                 LogRecordType.SCHED_CHECKPOINT, txn_id=0,
                 after=encode_record(chunk.to_fields()),
                 timestamp=now,
             )
-            if first_chunk_lsn is None:
-                first_chunk_lsn = chunk_record.lsn
-        record = self.wal.append(
+            if anchor is None:
+                anchor = record
+        marker = self.wal.append(
             LogRecordType.CHECKPOINT, txn_id=0,
             after=encode_page_directory({
                 table: store.heap.page_ids()
@@ -1119,19 +1365,37 @@ class InstantDB:
             }),
             timestamp=now,
         )
-        self.wal.flush()
+        if anchor is None:
+            anchor = marker
+        self._flush_wal()
         if truncate_wal:
-            # Keep the snapshot chunks together with their marker.
-            keep_from = first_chunk_lsn if first_chunk_lsn is not None else record.lsn
-            self.wal.truncate_until(keep_from - 1)
+            # Keep the catalog snapshot (and, behind it, the schedule chunks
+            # and their marker) together.
+            try:
+                self.wal.truncate_until(anchor.lsn - 1)
+            except DurabilityError as exc:
+                self._enter_read_only(str(exc))
+                raise
         self.stats.checkpoints += 1
 
     def close(self) -> None:
         """Clean shutdown: checkpoint (including the schedule snapshot),
-        flush the WAL and release the pager."""
+        flush the WAL and release the pager.
+
+        In read-only degraded mode the checkpoint is skipped (it would write)
+        and a failing final WAL flush is tolerated — everything durably
+        committed is already on disk, and the next recover() replays the rest.
+        """
         invariants.assert_engine_thread(self)
-        self.checkpoint()
-        self.wal.close()
+        if self._read_only_reason is None:
+            try:
+                self.checkpoint()
+            except DurabilityError:  # reprolint: disable=no-swallowed-io-error -- close() must release the WAL and pager even when the final checkpoint hits the failing device; the engine is read-only now and recover() replays what the checkpoint could not flush
+                pass
+        try:
+            self.wal.close()
+        except DurabilityError as exc:
+            self._enter_read_only(str(exc))
         self.pager.close()
 
     # ------------------------------------------------------------------ recovery
@@ -1139,10 +1403,15 @@ class InstantDB:
     def recover(self, drain: bool = True) -> EngineRecovery:
         """Recover data *and* the degradation schedule from the WAL.
 
-        Call after reopening a database directory and re-registering its
-        domains, policies and tables (the catalog is code-defined, the data
-        and schedule are log-defined).  Four phases:
+        A true one-call reopen: the catalog itself is restored from the last
+        ``CATALOG`` record in the log (domains, policies, tables, purposes,
+        indexes, per-tuple overrides), so callers no longer re-run DDL before
+        recovering.  Callers that *did* re-register their DDL (the historic
+        protocol) are still supported — a non-empty catalog skips the
+        restore.  Recovery also clears read-only degraded mode: the log on
+        disk is the recovered truth, so writes may resume.  Phases:
 
+        0. catalog restore from the last CATALOG record (when needed);
         1. classic redo/undo over the table stores
            (:class:`~repro.txn.recovery.RecoveryManager`);
         2. schedule replay — the last ``SCHED_CHECKPOINT`` snapshot plus the
@@ -1156,6 +1425,11 @@ class InstantDB:
            pipeline — the paper's timeliness promise, restored across
            restarts.
         """
+        columnar: List[str] = []
+        if not self.catalog.tables() and not self.registry.domains():
+            snapshot = latest_catalog_snapshot(self.wal)
+            if snapshot is not None:
+                columnar = restore_catalog(self, snapshot)
         manager = RecoveryManager(self.wal, dict(self.stores))
         report = manager.recover()
         last_timestamp = 0.0
@@ -1170,10 +1444,16 @@ class InstantDB:
         schedule = manager.replay_schedule(self.scheduler,
                                            self._resolve_tuple_lcp,
                                            recovery_report=report)
-        # Secondary indexes were populated by the re-run DDL against stores
-        # that were still empty; rebuild them from the recovered rows before
-        # anything (the catch-up drain included) queries or maintains them.
+        # Secondary indexes were created against stores that were still
+        # empty; rebuild them from the recovered rows before anything (the
+        # catch-up drain included) queries or maintains them.
         self._rebuild_indexes()
+        # Columnar mirrors are derived state: re-attach them only now that
+        # the heap holds the recovered rows.
+        for name in columnar:
+            if name in self.stores:
+                self._store_for(name).columnarize()
+                self.catalog.set_columnar(name)
         # The resolver caches per-record policies eagerly; keep only those
         # that ended up registered (mirrors live completion bookkeeping).
         for record_id in list(self._tuple_lcps):
@@ -1188,13 +1468,17 @@ class InstantDB:
         finally:
             if was_enabled:
                 self.daemon.resume()
+        # Recovery re-establishes the log as the single source of truth, so
+        # read-only degraded mode (and any fault backoff) ends here.
+        self._read_only_reason = None
+        self._fault_backoff.clear()
         applied: List[DegradationStep] = []
         if drain:
             applied = self.daemon.catch_up(self.clock.now())
         # Make recovery's own log writes durable (redo may allocate heap
         # pages and append PAGE_ALLOC records; losing them to a crash before
         # the next commit would orphan pages that still hold accurate rows).
-        self.wal.flush()
+        self._flush_wal()
         return EngineRecovery(
             recovery=report,
             schedule=schedule,
@@ -1326,8 +1610,14 @@ class InstantDB:
         return histogram
 
     def forensic_image(self) -> bytes:
-        """Every byte the engine holds: pages, WAL and index keys."""
-        parts = [store.raw_image() for store in self.stores.values()]
+        """Every byte the engine holds: pages, WAL and index keys.
+
+        The WAL contribution redacts CATALOG documents — they carry the
+        domain ontology (every value the schema *admits*), which exists
+        independently of any inserted tuple; see
+        :meth:`~repro.storage.wal.WriteAheadLog.forensic_image`.
+        """
+        parts = [store.forensic_image() for store in self.stores.values()]
         for info in self.catalog.tables():
             for index_info in info.indexes.values():
                 parts.append(index_info.index.raw_image())

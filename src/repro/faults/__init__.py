@@ -1,0 +1,12 @@
+"""Seeded, deterministic fault injection (see ``docs/faults.md``).
+
+A :class:`FaultPlan` is an explicit object threaded into the components whose
+I/O seams it arms — the WAL and pager (filesystem faults), the wire server and
+remote driver (network faults) and the simulated clock (time skips).  There is
+no global registry: a chaos run faults exactly the engine it hands the plan
+to, and its unfaulted twin never sees one.
+"""
+
+from .plan import FaultEvent, FaultPlan, FaultRule
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultRule"]

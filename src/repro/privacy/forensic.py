@@ -107,7 +107,10 @@ def scan_engine(db, values: Sequence[Any], table: Optional[str] = None) -> Foren
     else:
         store = db.table_store(table)
         channels["heap"] = store.heap.raw_image()
-        channels["wal"] = store.wal.raw_image()
+        # The WAL channel redacts CATALOG documents: they enumerate the
+        # domain vocabulary (schema, fixed at DDL time), and flagging the
+        # ontology would drown real tuple-retention leaks in false positives.
+        channels["wal"] = store.wal.forensic_image()
         info = db.catalog.table(table)
         for index_info in info.indexes.values():
             channels[f"index:{index_info.name}"] = index_info.index.raw_image()

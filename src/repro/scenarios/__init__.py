@@ -7,9 +7,20 @@ generators and a mixed op-stream driver.  A differential oracle replays the
 same stream against every engine variant (interpreted, compiled, columnar,
 remote) and demands identical results; a retention checker independently
 re-derives each attribute's mandated accuracy floor from the policy automaton
-and asserts the stores never exceed it.
+and asserts the stores never exceed it.  Chaos mode replays the same streams
+under a seeded fault schedule (I/O errors, dropped sockets, clock skips) and
+demands the healed victim still matches an unfaulted twin.
 """
 
+from .chaos import (
+    ENGINE_FAULT_SITES,
+    NETWORK_FAULT_SITES,
+    ChaosGaveUp,
+    ChaosReport,
+    ChaosRunner,
+    arm_schedule,
+    run_chaos,
+)
 from .driver import DEFAULT_MIX, Op, OpResult, OpStream, ReplayReport, replay, run_op
 from .generator import InclusionGenerator, TableBatch, employee_salary
 from .inclusion import InclusionScenario, paranoid_user
@@ -33,4 +44,6 @@ __all__ = [
     "RetentionViolation", "check_engine", "forensic_leaks",
     "expired_employee_salaries", "retention_report",
     "ScenarioVariant", "build_variants", "VARIANT_NAMES",
+    "ChaosGaveUp", "ChaosReport", "ChaosRunner", "arm_schedule", "run_chaos",
+    "ENGINE_FAULT_SITES", "NETWORK_FAULT_SITES",
 ]

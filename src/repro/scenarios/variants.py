@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 from ..api.connection import connect as local_connect
 from ..client import connect as remote_connect
 from ..engine.database import InstantDB
+from ..faults import FaultPlan
 from ..server import ServerThread
 from .inclusion import InclusionScenario
 
@@ -37,24 +38,32 @@ class ScenarioVariant:
     """One engine variant wired with the scenario schema, behind PEP 249."""
 
     def __init__(self, name: str, scenario: InclusionScenario,
-                 data_dir: Optional[str] = None) -> None:
+                 data_dir: Optional[str] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 server_kwargs: Optional[Dict[str, Any]] = None,
+                 connect_kwargs: Optional[Dict[str, Any]] = None) -> None:
         if name not in VARIANT_NAMES:
             raise ValueError(f"unknown variant {name!r} "
                              f"(expected one of {VARIANT_NAMES})")
         self.name = name
         self.scenario = scenario
+        self.fault_plan = fault_plan
+        self._connect_kwargs = dict(connect_kwargs or {})
         self.engine = InstantDB(
             data_dir=data_dir,
             read_path_optimizations=(name != "interpreted"),
+            fault_plan=fault_plan,
         )
         scenario.install(self.engine)
         if name == "columnar":
             scenario.columnarize(self.engine)
         self.server: Optional[ServerThread] = None
         if name == "remote":
-            self.server = ServerThread(self.engine).start()
+            self.server = ServerThread(self.engine,
+                                       **(server_kwargs or {})).start()
             host, port = self.server.address
-            self.connection = remote_connect(host, port)
+            self.connection = remote_connect(host, port,
+                                             **self._connect_kwargs)
         else:
             self.connection = local_connect(engine=self.engine)
         self._closed = False
@@ -89,6 +98,18 @@ class ScenarioVariant:
         if self.server is not None:
             return self.server.submit(functools.partial(fn, self.engine, *args))
         return fn(self.engine, *args)
+
+    def reconnect(self) -> None:
+        """Replace a dead or poisoned remote connection with a fresh session.
+
+        A no-op for in-process variants: their connection is a thin wrapper
+        over the engine and survives engine-side faults.
+        """
+        if self.server is None:
+            return
+        self.connection.close()
+        host, port = self.server.address
+        self.connection = remote_connect(host, port, **self._connect_kwargs)
 
     def steps_applied(self) -> int:
         """Degradation steps applied so far (comparable across variants)."""

@@ -62,6 +62,8 @@ class ServerMetrics:
         self.errors = 0
         self.protocol_errors = 0
         self.disconnects_with_open_txn = 0
+        self.statement_timeouts = 0
+        self.session_close_failures = 0
         self.latency = LatencyWindow(latency_capacity)
 
     def record_statement(self, seconds: float) -> None:
@@ -82,6 +84,8 @@ class ServerMetrics:
             "errors": self.errors,
             "protocol_errors": self.protocol_errors,
             "disconnects_with_open_txn": self.disconnects_with_open_txn,
+            "statement_timeouts": self.statement_timeouts,
+            "session_close_failures": self.session_close_failures,
             "latency_count": self.latency.count,
             "latency_p50": self.latency.p50,
             "latency_p99": self.latency.p99,

@@ -20,9 +20,23 @@ Concurrency model
   ``TransactionAborted`` error frames.
 
 Admission is a hard cap: past ``max_sessions`` concurrent sessions a new
-connection is turned away with a typed ``OperationalError`` frame before any
-session state is allocated.  An optional idle reaper rolls back and closes
-sessions that have gone quiet for longer than ``idle_timeout`` seconds.
+connection is shed with a typed, *retryable* ``OverloadError`` frame before
+any session state is allocated (the remote driver backs off and retries).
+An optional idle reaper rolls back and closes sessions that have gone quiet
+for longer than ``idle_timeout`` seconds.
+
+Overload and fault hardening
+----------------------------
+
+* ``statement_timeout`` bounds every EXECUTE / EXECUTEMANY / FETCH: past the
+  budget the client gets a retryable ``StatementTimeoutError`` frame and the
+  connection closes — the engine thread cannot be interrupted mid-statement,
+  so the reply races ahead of it and session teardown (queued on the same
+  executor) rolls the transaction back once the statement finishes.
+* an optional :class:`~repro.faults.FaultPlan` arms the ``server.send`` /
+  ``server.recv`` sites: reply frames can be truncated mid-frame, the
+  transport dropped abruptly, or the peer stalled — the failure modes the
+  chaos oracle drives to prove clients re-sync and replay safely.
 
 ``stop(drain=True)`` stops accepting, lets in-flight requests finish (up to
 ``drain_timeout``), then closes connections — the SIGTERM path in
@@ -36,9 +50,10 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
-from ..core.errors import InstantDBError, OperationalError
+from ..core.errors import Error, InstantDBError, OperationalError, StatementTimeoutError
 from ..devtools import invariants
 from ..engine.database import InstantDB
+from ..faults import FaultPlan
 from . import protocol
 from .metrics import ServerMetrics
 from .protocol import ProtocolError
@@ -88,6 +103,8 @@ class InstantDBServer:
                  queue_size: int = DEFAULT_QUEUE_SIZE,
                  prefetch: int = DEFAULT_PREFETCH,
                  write_buffer_limit: int = DEFAULT_WRITE_LIMIT,
+                 statement_timeout: Optional[float] = None,
+                 fault_plan: Optional[FaultPlan] = None,
                  owns_engine: bool = False) -> None:
         self.engine = engine
         self.host = host
@@ -95,6 +112,8 @@ class InstantDBServer:
         self.prefetch = prefetch
         self.queue_size = queue_size
         self.write_buffer_limit = write_buffer_limit
+        self.statement_timeout = statement_timeout
+        self.faults = fault_plan
         self.owns_engine = owns_engine
         self.sessions = SessionManager(engine, max_sessions=max_sessions,
                                        idle_timeout=idle_timeout)
@@ -185,13 +204,20 @@ class InstantDBServer:
         session = None if self._closing else self.sessions.open(peer)
         if session is None:
             self.metrics.sessions_rejected += 1
-            reason = ("server is shutting down" if self._closing else
-                      f"server at capacity ({self.sessions.max_sessions} "
-                      f"sessions)")
-            await self._write_frame(writer, protocol.ERROR, {
-                "error_class": "OperationalError", "message": reason,
-                "in_txn": False,
-            })
+            if self._closing:
+                error_class, reason = "OperationalError", "server is shutting down"
+            else:
+                # Typed retryable shed: the driver backs off and redials.
+                error_class = "OverloadError"
+                reason = (f"server at capacity ({self.sessions.max_sessions} "
+                          "sessions); retry after a backoff")
+            try:
+                await self._write_frame(writer, protocol.ERROR, {
+                    "error_class": error_class, "message": reason,
+                    "in_txn": False,
+                })
+            except ConnectionError:
+                pass  # the peer (or an injected fault) already dropped the link
             writer.close()
             return
         transport = writer.transport
@@ -211,7 +237,14 @@ class InstantDBServer:
             except (asyncio.CancelledError, Exception):  # reprolint: disable=no-swallowed-abort -- reader is cancelled; session teardown below must still run
                 pass
             self._connections.pop(session.session_id, None)
-            had_txn = await self.run_on_engine(self.sessions.close, session)
+            try:
+                had_txn = await self.run_on_engine(self.sessions.close, session)
+            except Error:
+                # The rollback of the disconnected session hit a failing
+                # device; the engine has already degraded to read-only and
+                # there is no client left to surface this to.
+                self.metrics.session_close_failures += 1
+                had_txn = True
             if had_txn and not conn.said_goodbye:
                 self.metrics.disconnects_with_open_txn += 1
             self.metrics.sessions_closed += 1
@@ -224,6 +257,18 @@ class InstantDBServer:
         """Parse frames off the socket into the bounded per-session queue."""
         try:
             while True:
+                if self.faults is not None:
+                    event = self.faults.fire("server.recv")
+                    if event is not None:
+                        if event.kind == "stall":
+                            await asyncio.sleep(
+                                float(event.param("seconds", 0.05)))
+                        else:
+                            # disconnect / truncate: the inbound stream dies
+                            # mid-frame; the session tears down as on EOF.
+                            conn.force_close()
+                            await conn.queue.put(_EOF)
+                            return
                 prefix = await conn.reader.readexactly(4)
                 length = protocol.parse_frame_length(prefix)
                 body = await conn.reader.readexactly(length)
@@ -289,7 +334,23 @@ class InstantDBServer:
                 f"unknown frame type 0x{frame_type:02X}"))
             return True
         try:
-            reply_type, reply = await handler(self, session, payload)
+            if (self.statement_timeout is not None
+                    and frame_type in _TIMED_FRAMES):
+                reply_type, reply = await asyncio.wait_for(
+                    handler(self, session, payload),
+                    timeout=self.statement_timeout)
+            else:
+                reply_type, reply = await handler(self, session, payload)
+        except asyncio.TimeoutError:
+            # The engine thread cannot be interrupted mid-statement: reply
+            # now, close the connection, and let session teardown (queued on
+            # the same executor) roll the transaction back once the statement
+            # finishes.  Retrying from the transaction start is then safe.
+            self.metrics.statement_timeouts += 1
+            await self._write_error(conn, StatementTimeoutError(
+                f"statement exceeded the {self.statement_timeout:g}s budget; "
+                "the session is closed and its transaction rolled back"))
+            return True
         except ProtocolError as error:
             self.metrics.protocol_errors += 1
             await self._write_error(conn, error)
@@ -399,7 +460,22 @@ class InstantDBServer:
 
     async def _write_frame(self, writer: asyncio.StreamWriter,
                            frame_type: int, payload: Any) -> None:
-        writer.write(protocol.encode_frame(frame_type, payload))
+        data = protocol.encode_frame(frame_type, payload)
+        if self.faults is not None:
+            event = self.faults.fire("server.send")
+            if event is not None:
+                if event.kind == "stall":
+                    await asyncio.sleep(float(event.param("seconds", 0.05)))
+                elif event.kind == "truncate":
+                    # Half a reply frame, then a dead transport: the client
+                    # must treat the short read as poison, never resync.
+                    writer.write(data[:max(1, len(data) // 2)])
+                    writer.close()
+                    raise ConnectionResetError("injected: reply truncated")
+                else:  # disconnect
+                    writer.close()
+                    raise ConnectionResetError("injected: connection dropped")
+        writer.write(data)
         await writer.drain()
 
     async def _write_error(self, conn: _Connection, error: Exception) -> None:
@@ -415,6 +491,11 @@ def _require(payload: Any, key: str) -> Any:
         raise ProtocolError(f"request payload is missing {key!r}")
     return payload[key]
 
+
+#: Frames covered by ``statement_timeout`` (the ones that run engine work of
+#: unbounded size; BEGIN/COMMIT/ROLLBACK are small and must not be cut short).
+_TIMED_FRAMES = frozenset({protocol.EXECUTE, protocol.EXECUTEMANY,
+                           protocol.FETCH})
 
 _ENGINE_FRAMES: Dict[int, Callable[..., Awaitable[Tuple[int, Dict[str, Any]]]]] = {
     protocol.EXECUTE: InstantDBServer._do_execute,

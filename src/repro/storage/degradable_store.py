@@ -780,6 +780,12 @@ class TableStore:
         """Raw bytes of the heap pages and the log (forensic scanning input)."""
         return self.heap.raw_image() + self.wal.raw_image()
 
+    def forensic_image(self) -> bytes:
+        """Like :meth:`raw_image` with the WAL's catalog documents redacted —
+        they hold domain vocabulary (schema), not tuple data; see
+        :meth:`WriteAheadLog.forensic_image`."""
+        return self.heap.raw_image() + self.wal.forensic_image()
+
     def restore_row(self, payload: bytes) -> int:
         """Write a logged row image back into the store (recovery redo/undo).
 

@@ -13,10 +13,12 @@ residual plaintext in *all* bytes under management, not only live records.
 
 from __future__ import annotations
 
+import errno
 import os
 from typing import Dict, Iterator, Optional
 
-from ..core.errors import StorageError
+from ..core.errors import DurabilityError, StorageError
+from ..faults import FaultPlan
 from .page import DEFAULT_PAGE_SIZE, SlottedPage
 
 
@@ -87,10 +89,12 @@ class FilePager(Pager):
     """Pager persisting pages to a single binary file."""
 
     def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE,
-                 secure: bool = True) -> None:
+                 secure: bool = True,
+                 faults: Optional[FaultPlan] = None) -> None:
         self.page_size = page_size
         self.secure = secure
         self.path = path
+        self.faults = faults
         exists = os.path.exists(path)
         self._file = open(path, "r+b" if exists else "w+b")
         self._file.seek(0, os.SEEK_END)
@@ -128,8 +132,25 @@ class FilePager(Pager):
         return self._page_count
 
     def sync(self) -> None:
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        """Make every written page durable.
+
+        I/O errors — real or injected — surface as :class:`DurabilityError`.
+        A failed sync is safe for the heap: pages are only an optimization
+        over the WAL (recovery redoes committed work from the log), so the
+        engine flips read-only and the reopened database rebuilds any page
+        whose bytes never made it down.
+        """
+        event = self.faults.fire("pager.sync") if self.faults else None
+        try:
+            if event is not None and event.kind == "enospc":
+                raise OSError(errno.ENOSPC,
+                              "injected: no space left on device")
+            self._file.flush()
+            if event is not None and event.kind == "fsync":
+                raise OSError(errno.EIO, "injected: fsync failed")
+            os.fsync(self._file.fileno())
+        except OSError as exc:
+            raise DurabilityError(f"pager sync failed: {exc}") from exc
 
     def close(self) -> None:
         try:
@@ -139,11 +160,11 @@ class FilePager(Pager):
 
 
 def open_pager(path: Optional[str] = None, page_size: int = DEFAULT_PAGE_SIZE,
-               secure: bool = True) -> Pager:
+               secure: bool = True, faults: Optional[FaultPlan] = None) -> Pager:
     """Open a :class:`FilePager` when ``path`` is given, else a :class:`MemoryPager`."""
     if path is None or path == ":memory:":
         return MemoryPager(page_size=page_size, secure=secure)
-    return FilePager(path, page_size=page_size, secure=secure)
+    return FilePager(path, page_size=page_size, secure=secure, faults=faults)
 
 
 __all__ = ["Pager", "MemoryPager", "FilePager", "open_pager"]

@@ -32,13 +32,15 @@ rewrite (that is their point — removing bytes from the middle of the file).
 
 from __future__ import annotations
 
+import errno
 import os
 import struct
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from ..core.errors import WALError
+from ..core.errors import DurabilityError, WALError
+from ..faults import FaultPlan
 from .serialization import decode_record, encode_record
 
 _LEN_STRUCT = struct.Struct("<I")
@@ -75,6 +77,13 @@ class LogRecordType(Enum):
     # that are absent from the reopened catalog *and* carry this marker;
     # an absent table without one is still a hard configuration error.
     TABLE_DROP = "TABLE_DROP"
+    # Catalog snapshot: the full DDL state (domains, policies, tables,
+    # purposes, indexes, columnar mirrors) serialized into the ``after``
+    # payload, appended on DDL commit and folded into every checkpoint so
+    # ``recover()`` reopens without re-running DDL.  Like the SCHED_* records
+    # it carries names, structure and selector keys — never degradable
+    # attribute values — so it is scrub-exempt by construction.
+    CATALOG = "CATALOG"
     # Heap page allocated to a table (``row_key`` holds the page id).  The
     # row→page map is rebuilt by scanning the heap at recovery, but *which*
     # pager pages belong to which table must itself be durable: degraded rows
@@ -115,6 +124,7 @@ _SCRUB_EXEMPT = frozenset({
     LogRecordType.SCHED_EVENT,
     LogRecordType.SCHED_CHECKPOINT,
     LogRecordType.TABLE_DROP,
+    LogRecordType.CATALOG,
     LogRecordType.PAGE_ALLOC,
     # Carries a target level + row keys only (its ``row_key`` field is a
     # segment id, so the (table, row_key) scrub match must never touch it).
@@ -325,11 +335,21 @@ class WALStats:
 class WriteAheadLog:
     """Append-only log with degradation-aware scrubbing."""
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(self, path: Optional[str] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
         self.path = path
+        self.faults = faults
         self._records: List[LogRecord] = []
         self._next_lsn = 1
         self._flushed_lsn = 0
+        #: Byte length of the known-good on-disk prefix.  A failed or torn
+        #: flush leaves garbage past this point; the next flush truncates back
+        #: to it before appending, so the file never accumulates torn tails.
+        self._disk_bytes = 0
+        #: Set when a scrub/truncate rewrite failed mid-way: the in-memory log
+        #: and the file have diverged beyond the append protocol's reach, so
+        #: the next flush must retry the full rewrite instead of appending.
+        self._rewrite_pending = False
         self.stats = WALStats()
         if path is not None and os.path.exists(path):
             self._load(path)
@@ -369,21 +389,67 @@ class WriteAheadLog:
         form a suffix of the in-memory list), followed by one fsync.  Full
         rewrites happen only in :meth:`scrub_records` and
         :meth:`truncate_until`, which must remove bytes already on disk.
+
+        Failure semantics: any I/O error — real or injected via the fault
+        plan — surfaces as :class:`DurabilityError` *without* advancing
+        ``flushed_lsn`` or the known-good byte mark, so a retry (or the next
+        flush after recovery) first truncates any torn tail back to the last
+        good byte and rewrites the whole pending suffix.  The on-disk prefix
+        up to the last successful flush is never touched.
         """
         if self.path is not None:
+            if self._rewrite_pending:
+                # A scrub/truncate rewrite failed earlier; appending would
+                # persist images the in-memory log already dropped.
+                self._rewrite_file()
+                self.stats.flushed += 1
+                return
             start = len(self._records)
             while start > 0 and self._records[start - 1].lsn > self._flushed_lsn:
                 start -= 1
             pending = self._records[start:]
             if pending:
-                with open(self.path, "ab") as handle:
-                    for record in pending:
-                        payload = self._payload(record)
-                        handle.write(_LEN_STRUCT.pack(len(payload)))
-                        handle.write(payload)
-                        self.stats.bytes_written += _LEN_STRUCT.size + len(payload)
-                    handle.flush()
-                    os.fsync(handle.fileno())
+                buffer = bytearray()
+                for record in pending:
+                    payload = self._payload(record)
+                    buffer += _LEN_STRUCT.pack(len(payload))
+                    buffer += payload
+                event = self.faults.fire("wal.flush") if self.faults else None
+                try:
+                    if event is not None and event.kind == "enospc":
+                        raise OSError(errno.ENOSPC,
+                                      "injected: no space left on device")
+                    mode = "r+b" if os.path.exists(self.path) else "w+b"
+                    with open(self.path, mode) as handle:
+                        handle.truncate(self._disk_bytes)
+                        handle.seek(self._disk_bytes)
+                        if event is not None and event.kind == "torn_write":
+                            handle.write(bytes(buffer[:max(1, len(buffer) // 2)]))
+                            handle.flush()
+                            raise OSError(errno.EIO, "injected: torn write")
+                        handle.write(bytes(buffer))
+                        handle.flush()
+                        if event is not None and event.kind == "fsync":
+                            raise OSError(errno.EIO, "injected: fsync failed")
+                        os.fsync(handle.fileno())
+                except OSError as exc:
+                    # Best-effort immediate repair: chop whatever the failed
+                    # attempt managed to write back to the known-good prefix.
+                    # A torn half-buffer can end exactly on a record boundary,
+                    # and a crash before the next flush would then make _load
+                    # accept records whose durability was *denied* to the
+                    # caller.  If this repair fails too, the next flush (or
+                    # _load's framing check) still truncates first.
+                    try:
+                        with open(self.path, "r+b") as handle:
+                            handle.truncate(self._disk_bytes)
+                            handle.flush()
+                            os.fsync(handle.fileno())
+                    except OSError:  # reprolint: disable=no-swallowed-io-error -- best-effort torn-tail repair while propagating the original failure
+                        pass
+                    raise DurabilityError(f"WAL flush failed: {exc}") from exc
+                self.stats.bytes_written += len(buffer)
+                self._disk_bytes += len(buffer)
         self._flushed_lsn = self._records[-1].lsn if self._records else self._flushed_lsn
         self.stats.flushed += 1
 
@@ -496,19 +562,40 @@ class WriteAheadLog:
 
     def _rewrite_file(self) -> None:
         assert self.path is not None
+        # Armed until the atomic replace lands: a failure here (the in-memory
+        # log has already dropped images the file still holds) forces the next
+        # flush to retry the full rewrite instead of appending.
+        self._rewrite_pending = True
+        event = self.faults.fire("wal.rewrite") if self.faults else None
         tmp_path = self.path + ".tmp"
-        with open(tmp_path, "wb") as handle:
-            for record in self._records:
-                payload = self._payload(record)
-                handle.write(_LEN_STRUCT.pack(len(payload)))
-                handle.write(payload)
-                self.stats.bytes_written += _LEN_STRUCT.size + len(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, self.path)
+        total = 0
+        try:
+            if event is not None and event.kind == "enospc":
+                raise OSError(errno.ENOSPC,
+                              "injected: no space left on device")
+            with open(tmp_path, "wb") as handle:
+                for record in self._records:
+                    payload = self._payload(record)
+                    handle.write(_LEN_STRUCT.pack(len(payload)))
+                    handle.write(payload)
+                    total += _LEN_STRUCT.size + len(payload)
+                handle.flush()
+                if event is not None and event.kind == "fsync":
+                    raise OSError(errno.EIO, "injected: fsync failed")
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp_path)
+            except OSError:  # reprolint: disable=no-swallowed-io-error -- best-effort tmp cleanup while propagating the original failure
+                pass
+            raise DurabilityError(f"WAL rewrite failed: {exc}") from exc
+        self.stats.bytes_written += total
+        self._disk_bytes = total
         # A rewrite persists everything currently in memory, so later flushes
         # must not re-append those records.
         self._flushed_lsn = self._records[-1].lsn if self._records else 0
+        self._rewrite_pending = False
 
     def _load(self, path: str) -> None:
         with open(path, "rb") as handle:
@@ -539,6 +626,7 @@ class WriteAheadLog:
                 handle.truncate(valid_until)
                 handle.flush()
                 os.fsync(handle.fileno())
+        self._disk_bytes = valid_until
         if self._records:
             self._next_lsn = self._records[-1].lsn + 1
             self._flushed_lsn = self._records[-1].lsn
@@ -546,6 +634,26 @@ class WriteAheadLog:
     def raw_image(self) -> bytes:
         """Every byte currently held by the log (forensic scanning)."""
         return b"".join(self._payload(record) for record in self._records)
+
+    def forensic_image(self) -> bytes:
+        """Scanner input: every payload byte except CATALOG ``after`` documents.
+
+        CATALOG records persist the DDL state, and a generalization *domain*
+        is part of it — including its level-0 vocabulary, i.e. every accurate
+        value the domain admits.  That vocabulary is schema, not data: it is
+        fixed at DDL time and identical whether zero or a million tuples were
+        inserted, so a value's presence in it proves nothing about any tuple's
+        retention.  :meth:`raw_image` stays complete (the bytes *are* on
+        disk); this view is what the non-recoverability scanner greps so the
+        ontology is not flagged as a retained tuple value.
+        """
+        parts = []
+        for record in self._records:
+            if record.record_type is LogRecordType.CATALOG and record.after:
+                parts.append(replace(record, after=None).encode())
+            else:
+                parts.append(self._payload(record))
+        return b"".join(parts)
 
     def close(self) -> None:
         if self.path is not None:

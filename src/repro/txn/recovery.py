@@ -51,6 +51,11 @@ _REPLAY_IGNORED = frozenset({
     # records themselves, so replay has nothing to apply; re-running it would
     # only re-count an action that already happened.
     LogRecordType.SCRUB,
+    # CATALOG carries a DDL snapshot consumed *before* data replay by
+    # InstantDB.recover (engine/catalog_io.latest_catalog_snapshot); by the
+    # time RecoveryManager runs, the tables it describes already exist, so
+    # the data passes have nothing to do with it.
+    LogRecordType.CATALOG,
 })
 
 
@@ -145,7 +150,13 @@ class RecoveryManager:
             if record_type is LogRecordType.ABORT:
                 # Aborted transactions were rolled back before the crash (their
                 # undo is already reflected); they are neither winners nor losers.
+                # The last control record wins: a COMMIT *followed by* an ABORT
+                # means the commit's durable flush failed and the engine rolled
+                # the transaction back (reporting failure to the client), so
+                # redoing it as a winner would resurrect work every live reader
+                # already saw undone.
                 begun.discard(record.txn_id)
+                committed.discard(record.txn_id)
                 continue
             if record_type is LogRecordType.TABLE_DROP:
                 # Everything this table accumulated belongs to the dropped

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional
 
-from ..core.errors import TransactionAborted, TransactionError
+from ..core.errors import DurabilityError, TransactionAborted, TransactionError
 from ..storage.wal import LogRecordType, WriteAheadLog
 from .locks import LockManager, LockMode
 
@@ -64,6 +64,14 @@ class TransactionStats:
     aborted: int = 0
     system_begun: int = 0
     reader_degrader_conflicts: int = 0
+    #: Aborts whose ABORT record could not be made durable (the abort itself
+    #: still completed in memory; recovery undoes the loser from the log).
+    abort_flush_failures: int = 0
+    #: Aborts where an undo action hit the failing storage device.  The abort
+    #: still completes (locks released, transaction deregistered) — recovery
+    #: discards any transaction without a durable COMMIT — but the in-memory
+    #: image may be stale until :meth:`InstantDB.recover` rebuilds it.
+    undo_failures: int = 0
 
 
 class TransactionManager:
@@ -75,6 +83,10 @@ class TransactionManager:
         self._next_txn_id = 1
         self._active: Dict[int, Transaction] = {}
         self.stats = TransactionStats()
+        #: Engine hook: called with the :class:`DurabilityError` when an undo
+        #: action fails during abort, after the abort's bookkeeping completed.
+        #: The engine uses it to flip into read-only degraded mode.
+        self.on_undo_failure: Optional[Callable[[DurabilityError], None]] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -103,15 +115,39 @@ class TransactionManager:
         if txn.state is TransactionState.ABORTED:
             return
         txn.require_active()
+        undo_failure: Optional[DurabilityError] = None
         for action in reversed(txn.undo_actions):
-            action()
+            try:
+                action()
+            except DurabilityError as exc:
+                # The physical undo hit the failing device.  Keep going and
+                # finish the abort's bookkeeping regardless: bailing out here
+                # would leak this transaction's locks and wedge the engine,
+                # while recovery discards every transaction without a durable
+                # COMMIT, so the on-disk truth is safe either way.  The engine
+                # is told (via ``on_undo_failure``) so it degrades to
+                # read-only until ``recover()`` rebuilds the in-memory image.
+                if undo_failure is None:
+                    undo_failure = exc
+                self.stats.undo_failures += 1
         txn.undo_actions.clear()
         self.wal.append(LogRecordType.ABORT, txn.txn_id, timestamp=now)
-        self.wal.flush()
+        try:
+            self.wal.flush()
+        except DurabilityError:
+            # The abort must complete even when the log device is failing:
+            # recovery treats any transaction without a durable COMMIT as a
+            # loser and undoes it, so a lost ABORT record costs nothing, while
+            # bailing out here would leak this transaction's locks and wedge
+            # the engine.  The ABORT record stays buffered and rides the next
+            # healthy flush.
+            self.stats.abort_flush_failures += 1
         txn.state = TransactionState.ABORTED
         self.locks.release_all(txn.txn_id)
         self._active.pop(txn.txn_id, None)
         self.stats.aborted += 1
+        if undo_failure is not None and self.on_undo_failure is not None:
+            self.on_undo_failure(undo_failure)
 
     def resume_after(self, txn_id: int) -> None:
         """Ensure future transaction ids are greater than ``txn_id``.

@@ -231,6 +231,80 @@ class TestNoSwallowedAbort:
         assert run_rule(tmp_path, "no-swallowed-abort") == []
 
 
+class TestNoSwallowedIOError:
+    def test_swallowed_oserror_around_io_flagged(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def f(handle):
+                try:
+                    handle.fsync()
+                except OSError:
+                    pass
+        """)
+        findings = run_rule(tmp_path, "no-swallowed-io-error")
+        assert len(findings) == 1
+        assert "OSError" in findings[0].message
+
+    def test_swallowed_durability_error_flagged_anywhere(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def f(engine):
+                try:
+                    engine.commit_buffers()
+                except DurabilityError:
+                    return None
+        """)
+        assert len(run_rule(tmp_path, "no-swallowed-io-error")) == 1
+
+    def test_swallowed_connection_error_around_socket_flagged(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def f(sock, data):
+                try:
+                    sock.sendall(data)
+                except ConnectionResetError:
+                    pass
+        """)
+        assert len(run_rule(tmp_path, "no-swallowed-io-error")) == 1
+
+    def test_oserror_without_io_in_body_clean(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def f(value):
+                try:
+                    return int(value)
+                except OSError:
+                    pass
+        """)
+        assert run_rule(tmp_path, "no-swallowed-io-error") == []
+
+    def test_reraise_clean(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def f(handle):
+                try:
+                    handle.flush()
+                except OSError as exc:
+                    raise DurabilityError(str(exc)) from exc
+        """)
+        assert run_rule(tmp_path, "no-swallowed-io-error") == []
+
+    def test_bound_name_used_clean(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def f(handle, log):
+                try:
+                    handle.flush()
+                except OSError as error:
+                    log.warning("flush failed: %s", error)
+        """)
+        assert run_rule(tmp_path, "no-swallowed-io-error") == []
+
+    def test_suppression_comment_clean(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def f(sock):
+                try:
+                    sock.close()
+                except OSError:  # reprolint: disable=no-swallowed-io-error -- best-effort close
+                    pass
+        """)
+        assert run_rule(tmp_path, "no-swallowed-io-error") == []
+
+
 WAL_FIXTURE = """\
     class LogRecordType:
         BEGIN = "BEGIN"

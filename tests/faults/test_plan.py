@@ -1,0 +1,95 @@
+"""FaultPlan DSL: deterministic triggers, seeded coins, fired bookkeeping."""
+
+import threading
+
+from repro.faults import FaultPlan
+
+
+class TestFailNth:
+    def test_fires_on_exactly_the_nth_call(self):
+        plan = FaultPlan(seed=1).fail_nth("wal.flush", "enospc", 3)
+        assert plan.fire("wal.flush") is None
+        assert plan.fire("wal.flush") is None
+        event = plan.fire("wal.flush")
+        assert event is not None
+        assert (event.site, event.kind, event.call_index) == \
+            ("wal.flush", "enospc", 3)
+        # armed once: call #3 was the only firing
+        assert plan.fire("wal.flush") is None
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan(seed=1).fail_nth("wal.flush", "enospc", 2)
+        plan.fail_nth("pager.sync", "fsync", 1)
+        assert plan.fire("wal.flush") is None
+        assert plan.fire("pager.sync").kind == "fsync"
+        assert plan.fire("wal.flush").kind == "enospc"
+
+    def test_params_ride_the_event(self):
+        plan = FaultPlan(seed=1).fail_nth("server.recv", "stall", 1,
+                                          seconds=0.25)
+        event = plan.fire("server.recv")
+        assert event.param("seconds") == 0.25
+        assert event.param("missing", "default") == "default"
+
+
+class TestFailOnce:
+    def test_fires_on_the_next_call_only(self):
+        plan = FaultPlan(seed=1).fail_once("client.send", "disconnect")
+        assert plan.fire("client.send").kind == "disconnect"
+        assert plan.fire("client.send") is None
+
+
+class TestProbability:
+    def test_same_seed_same_schedule(self):
+        def schedule(seed):
+            plan = FaultPlan(seed=seed)
+            plan.fail_with_probability("wal.flush", "torn_write", 0.3)
+            return [plan.fire("wal.flush") is not None for _ in range(50)]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_max_fires_bounds_the_blast_radius(self):
+        plan = FaultPlan(seed=3)
+        plan.fail_with_probability("wal.flush", "enospc", 1.0, max_fires=2)
+        fired = [plan.fire("wal.flush") for _ in range(10)]
+        assert sum(event is not None for event in fired) == 2
+
+
+class TestBookkeeping:
+    def test_first_matching_rule_wins_the_call(self):
+        plan = FaultPlan(seed=1)
+        plan.fail_nth("wal.flush", "enospc", 1)
+        plan.fail_nth("wal.flush", "fsync", 1)
+        assert plan.fire("wal.flush").kind == "enospc"
+        # the second rule did not also observe call #1
+        assert plan.fire("wal.flush") is None
+
+    def test_fired_history_and_describe(self):
+        plan = FaultPlan(seed=9).fail_nth("pager.sync", "fsync", 1)
+        plan.fire("pager.sync")
+        assert plan.fired_kinds() == {"fsync"}
+        assert plan.fired_sites() == {"pager.sync"}
+        assert plan.calls("pager.sync") == 1
+        assert "pager.sync#1 -> fsync" in plan.describe()
+
+    def test_disarm_keeps_counters_and_history(self):
+        plan = FaultPlan(seed=1).fail_nth("wal.flush", "enospc", 1)
+        plan.fail_nth("wal.flush", "fsync", 2)
+        plan.fire("wal.flush")
+        plan.disarm()
+        assert plan.fire("wal.flush") is None  # rule for call #2 is gone
+        assert plan.calls("wal.flush") == 2    # but calls kept counting
+        assert plan.fired_kinds() == {"enospc"}
+
+    def test_concurrent_fire_counts_every_call(self):
+        plan = FaultPlan(seed=1).fail_nth("wal.flush", "enospc", 500)
+        threads = [threading.Thread(
+            target=lambda: [plan.fire("wal.flush") for _ in range(100)])
+            for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert plan.calls("wal.flush") == 800
+        assert plan.fired_kinds() == {"enospc"}

@@ -1,12 +1,21 @@
-"""Randomized kill-point crash test over the scenario.
+"""Seeded kill-offset sweep: crash anywhere in the wave, recover, compare.
 
 A seeded macro-workload runs on two identical engines over separate data
-directories.  One of them is killed *mid-degradation-wave* — at a seeded WAL
-append offset, so every seed dies at a different point of the wave — then
-reopened and recovered.  The recovered engine must (a) satisfy the retention
-invariant, (b) leak nothing forensically, and (c) answer every read-back
-query identically to its never-crashed twin.
+directories.  The twin applies a 10-day degradation wave first, counting how
+many WAL appends the wave costs; the victim is then killed at a seeded
+offset inside that span — each sweep stratum covers a different slice of the
+wave, so together the sweep samples kill points across the *whole* WAL
+rather than a fixed handful near the start.  ``REPRO_CRASH_SWEEP`` widens
+the sweep (default 3 strata) for soak runs.
+
+The victim's directory is reopened **cold** with one-call recovery — the
+catalog comes back from its WAL CATALOG record, no DDL re-run — and must
+(a) satisfy the retention invariant, (b) leak nothing forensically, and
+(c) answer every read-back query identically to its never-crashed twin.
 """
+
+import os
+import random
 
 import pytest
 
@@ -22,11 +31,12 @@ from repro.scenarios import (
     retention_report,
     run_op,
 )
-from repro.workloads.distributions import Distributions
 
 DAY = 86400.0
 SCALE = 30
 PREFIX_OPS = 60
+SWEEP = int(os.environ.get("REPRO_CRASH_SWEEP", "3"))
+BASE_SEED = int(os.environ.get("REPRO_CRASH_SEED", "101"))
 
 
 def arm_crash(db: InstantDB, appends_left: int) -> None:
@@ -44,13 +54,27 @@ def arm_crash(db: InstantDB, appends_left: int) -> None:
     db.wal.append = crashing_append
 
 
+def count_appends(db: InstantDB):
+    """Count WAL appends from now on; returns ``(counter_dict, restore)``."""
+    original = db.wal.append
+    state = {"count": 0}
+
+    def counting_append(*args, **kwargs):
+        state["count"] += 1
+        return original(*args, **kwargs)
+
+    db.wal.append = counting_append
+    return state, lambda: setattr(db.wal, "append", original)
+
+
 def crash(db: InstantDB) -> None:
     """Abandon without close(): no checkpoint, no final WAL flush."""
     db.daemon.pause()
 
 
-@pytest.mark.parametrize("kill_seed", (101, 202, 303))
-def test_mid_wave_crash_recovers_to_twin_equivalence(tmp_path, kill_seed):
+@pytest.mark.parametrize("stratum", range(SWEEP))
+def test_mid_wave_crash_recovers_to_twin_equivalence(tmp_path, stratum):
+    kill_seed = BASE_SEED + 101 * stratum
     scenario = InclusionScenario(SCALE)
     generator = InclusionGenerator(scenario, seed=kill_seed)
     salaries = generator.sensitive_salaries()
@@ -71,21 +95,33 @@ def test_mid_wave_crash_recovers_to_twin_equivalence(tmp_path, kill_seed):
         run_op(victim, op)
         run_op(twin, op)
 
-    # The killer wave: 10 days due at once; the victim dies at a seeded WAL
-    # append offset partway through applying it.
-    kill_after = Distributions(kill_seed).uniform_int(2, 12)
+    # The killer wave: 10 days due at once.  The twin runs it first, counting
+    # its WAL appends; the engines are deterministic over identical state, so
+    # the victim's wave costs the same number.  The kill offset is then drawn
+    # from this stratum's slice of [0, appends) — the sweep as a whole covers
+    # the entire wave, not just its first few records.
+    counter, restore = count_appends(twin.engine)
+    twin.advance(10 * DAY)
+    restore()
+    wave_appends = counter["count"]
+    assert wave_appends > 0
+    lo = wave_appends * stratum // SWEEP
+    hi = max(lo + 1, wave_appends * (stratum + 1) // SWEEP)
+    kill_after = random.Random(kill_seed).randrange(lo, hi)
+
     arm_crash(victim.engine, kill_after)
     with pytest.raises(KeyboardInterrupt):
         victim.advance(10 * DAY)
     crash(victim.engine)
-    twin.advance(10 * DAY)
 
-    # Reopen the directory cold, reinstall the (code-defined) catalog, and
-    # let recovery replay the heap and drain the overdue schedule.
+    # Reopen the directory cold: one-call recovery restores the catalog from
+    # the WAL's CATALOG record (no DDL re-run), replays the heap, and drains
+    # the overdue schedule.
     recovered = InstantDB(data_dir=str(tmp_path / "victim"))
-    scenario.install(recovered)
     report = recovered.recover(drain=True)
-    assert report.registrations > 0
+    assert report.registrations > 0, \
+        f"kill_seed={kill_seed} kill_after={kill_after}/{wave_appends}"
+    assert recovered.catalog.tables(), "catalog did not survive the crash"
 
     # Clock skew between the twins is possible (the victim may have died
     # before its clock advance was durable) — align to the later clock.
@@ -96,15 +132,16 @@ def test_mid_wave_crash_recovers_to_twin_equivalence(tmp_path, kill_seed):
     elif twin_now < recovered_now:
         twin.advance(recovered_now - twin_now)
 
+    context = f"kill_seed={kill_seed} kill_after={kill_after}/{wave_appends}"
     try:
         # (a) retention invariant holds on the recovered engine
         violations = check_engine(recovered)
-        assert violations == [], violations[:3]
+        assert violations == [], (context, violations[:3])
         # (b) nothing expired is forensically recoverable, and the forensic
         # counters agree with the never-crashed twin
         assert retention_report(recovered, salaries) == \
             retention_report(twin.engine, salaries) == \
-            {"violations": 0, "leaks": 0}
+            {"violations": 0, "leaks": 0}, context
         # (c) every read-back answers identically to the twin
         read_backs = [op for op in OpStream(scenario, seed=kill_seed + 7,
                                             count=60).ops()
@@ -121,9 +158,12 @@ def test_mid_wave_crash_recovers_to_twin_equivalence(tmp_path, kill_seed):
                                       purpose=op.purpose).fetchall()
                 conn.commit()
                 assert canonical_rows(actual, op.ordered) == \
-                    canonical_rows(expected, op.ordered), op.describe()
+                    canonical_rows(expected, op.ordered), \
+                    (context, op.describe())
         finally:
             conn.close()
     finally:
+        # The victim stays abandoned (a crashed process never close()s);
+        # its directory now belongs to ``recovered``.
         recovered.close()
         twin.close()
